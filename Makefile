@@ -1,0 +1,41 @@
+# qucloud-go — build, test, and experiment targets.
+
+GO ?= go
+
+.PHONY: all build vet test bench cover experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short test run (skips the large-chip stress cases).
+test-short:
+	$(GO) test -short ./...
+
+# Full benchmark sweep: regenerates every table and figure. Slow (~10 min).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Text-table reproduction of the paper's evaluation section.
+experiments: build
+	$(GO) run ./cmd/quexp -exp all
+
+examples: build
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/multiprogramming
+	$(GO) run ./examples/cloudscheduler
+	$(GO) run ./examples/chipexplorer
+	$(GO) run ./examples/cloudservice
+
+clean:
+	$(GO) clean ./...

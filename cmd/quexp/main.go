@@ -1,0 +1,228 @@
+// Command quexp regenerates the tables and figures of the paper's
+// evaluation section as text tables:
+//
+//	quexp -exp table2            # Table II: PST on IBMQ16
+//	quexp -exp table3            # Table III: compilation overheads on IBMQ50
+//	quexp -exp fig8              # Figure 8: IBM Q London dendrogram
+//	quexp -exp fig9              # Figure 9: omega sweep + knee (both chips)
+//	quexp -exp fig14             # Figure 14: scheduler PST / TRF
+//	quexp -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	qucloud "repro"
+	"repro/internal/arch"
+	"repro/internal/community"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table2, table3, fig8, fig9, fig14, scale, clifford, staleness, all")
+		seed   = flag.Int64("seed", 0, "calibration seed")
+		trials = flag.Int("trials", 2000, "Monte-Carlo trials per PST estimate")
+		days   = flag.Int("days", 21, "calibration days for the fig9 sweep")
+	)
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "quexp %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	run("table2", func() error { return table2(*seed, *trials) })
+	run("table3", func() error { return table3(*seed) })
+	run("fig8", func() error { return fig8() })
+	run("fig9", func() error { return fig9(*seed, *days) })
+	run("fig14", func() error { return fig14(*seed, *trials) })
+	run("scale", func() error { return scale(*seed) })
+	run("clifford", func() error { return clifford(*seed, *trials) })
+	run("staleness", func() error { return staleness(*seed) })
+}
+
+func clifford(seed int64, trials int) error {
+	fmt.Printf("== Extension: exact per-program PST on IBMQ50 (Clifford workload, %d trials)\n\n", trials)
+	rows, err := qucloud.RunCliffordFidelity(seed, trials)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %8s %8s %8s | per-program PST (%%)\n", "strategy", "avg PST", "CNOTs", "depth")
+	for _, r := range rows {
+		fmt.Printf("%-12s %8.1f %8d %8d |", r.Strategy, r.Avg, r.CNOTs, r.Depth)
+		for _, p := range r.PST {
+			fmt.Printf(" %5.1f", p)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}
+
+func staleness(seed int64) error {
+	fmt.Println("== Extension: hierarchy-tree staleness under calibration drift (8% daily)")
+	ratios, err := qucloud.RunTreeStaleness(seed, 8, 0.08)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	for day, r := range ratios {
+		fmt.Printf("  tree %d day(s) old: EPST ratio vs fresh tree = %.4f\n", day+1, r)
+	}
+	fmt.Println()
+	return nil
+}
+
+func scale(seed int64) error {
+	fmt.Printf("== Scalability: 3_17_13 + alu-v0_27 across chip sizes (day %d)\n\n", seed)
+	rows, err := qucloud.RunScale(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %6s", "chip", "qubits")
+	for _, s := range qucloud.ScaleStrategies {
+		fmt.Printf(" | %s (CNOTs/depth/ms)", s)
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%-10s %6d", r.Device, r.Qubits)
+		for _, s := range qucloud.ScaleStrategies {
+			fmt.Printf(" | %5d/%-5d %8.1fms   ", r.CNOTs[s], r.Depth[s], r.CompileMS[s])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}
+
+func table2(seed int64, trials int) error {
+	fmt.Printf("== Table II: PST (%%) of two-program workloads on IBMQ16 (calibration day %d, %d trials)\n\n", seed, trials)
+	rows, err := qucloud.RunTable2(seed, trials)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-14s", "W1", "W2")
+	for _, s := range qucloud.Strategies {
+		fmt.Printf(" | %-11s", s)
+	}
+	fmt.Println()
+	sums := map[qucloud.Strategy][2]float64{} // tiny, small
+	for i, r := range rows {
+		fmt.Printf("%-10s %-14s", r.W1, r.W2)
+		for _, s := range qucloud.Strategies {
+			fmt.Printf(" | %4.1f %4.1f ", r.PST[s][0], r.PST[s][1])
+			v := sums[s]
+			if i < 5 {
+				v[0] += r.Avg(s) / 5
+			} else {
+				v[1] += r.Avg(s) / 5
+			}
+			sums[s] = v
+		}
+		fmt.Println()
+		if i == 4 || i == 9 {
+			label := "tiny avg"
+			idx := 0
+			if i == 9 {
+				label = "small avg"
+				idx = 1
+			}
+			fmt.Printf("%-25s", label)
+			for _, s := range qucloud.Strategies {
+				fmt.Printf(" |   %5.1f   ", sums[s][idx])
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func table3(seed int64) error {
+	fmt.Printf("== Table III: compilation overheads of 4-program workloads on IBMQ50 (calibration day %d)\n\n", seed)
+	rows, err := qucloud.RunTable3(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s", "Mix")
+	for _, s := range qucloud.Table3Strategies {
+		fmt.Printf(" | %-12s", s)
+	}
+	fmt.Println("   (CNOTs/depth)")
+	tot := map[qucloud.Strategy][2]int{}
+	for _, r := range rows {
+		fmt.Printf("%-8s", r.Mix)
+		for _, s := range qucloud.Table3Strategies {
+			fmt.Printf(" | %5d/%-6d", r.CNOTs[s], r.Depth[s])
+			v := tot[s]
+			v[0] += r.CNOTs[s]
+			v[1] += r.Depth[s]
+			tot[s] = v
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-8s", "total")
+	for _, s := range qucloud.Table3Strategies {
+		fmt.Printf(" | %5d/%-6d", tot[s][0], tot[s][1])
+	}
+	fmt.Println()
+	base := float64(tot[qucloud.Baseline][0])
+	qc := float64(tot[qucloud.CDAPXSwap][0])
+	sab := float64(tot[qucloud.SABRE][0])
+	fmt.Printf("\nCDAP+X-SWAP vs Baseline: %+.1f%% CNOTs; vs SABRE: %+.1f%% CNOTs\n\n",
+		(qc-base)/base*100, (qc-sab)/sab*100)
+	return nil
+}
+
+func fig8() error {
+	fmt.Println("== Figure 8: hierarchy tree (dendrogram) of IBM Q London, omega = 0.95")
+	d := arch.London()
+	tree := community.Build(d, 0.95)
+	fmt.Println()
+	fmt.Print(tree.Dendrogram())
+	fmt.Println()
+	return nil
+}
+
+func fig9(seed int64, days int) error {
+	for _, tc := range []struct {
+		name string
+		dev  *arch.Device
+		days int
+	}{
+		{"IBMQ16", arch.IBMQ16(seed), days},
+		{"IBMQ50", arch.IBMQ50(seed), days},
+	} {
+		fmt.Printf("== Figure 9: avg redundant qubits vs omega on %s (%d days)\n\n", tc.name, tc.days)
+		res := qucloud.RunFig9(tc.dev, tc.days, 0.05)
+		for i, w := range res.Omegas {
+			marker := ""
+			if i == res.KneeIndex {
+				marker = "   <- knee solution"
+			}
+			fmt.Printf("  omega %.2f  avg redundant %.3f%s\n", w, res.AvgRedundant[i], marker)
+		}
+		fmt.Printf("\nknee omega = %.2f (paper: 0.95 on IBMQ16, 0.40 on IBMQ50)\n\n", res.KneeOmega())
+	}
+	return nil
+}
+
+func fig14(seed int64, trials int) error {
+	fmt.Printf("== Figure 14: task-scheduler fidelity/throughput trade-off (day %d, %d trials)\n\n", seed, trials)
+	points, err := qucloud.RunFig14(seed, []float64{0.05, 0.10, 0.15, 0.20}, trials)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %8s %8s\n", "config", "PST(%)", "TRF")
+	for _, p := range points {
+		fmt.Printf("%-10s %8.1f %8.3f\n", p.Label, p.AvgPST, p.TRF)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,116 @@
+// Command qusched simulates the QuCloud cloud service: a queue of
+// compilation jobs is batched by the EPST scheduler (Algorithm 4), each
+// batch is compiled with CDAP+X-SWAP, and the resulting fidelity and
+// throughput are reported.
+//
+//	qusched -eps 0.15 -jobs bv_n3,toffoli_3,3_17_13,alu-v0_27
+//	qusched -eps 0.10            # default queue: tiny+small suite x2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	qucloud "repro"
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/nisqbench"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		chip     = flag.String("chip", "ibmq16", "target chip: ibmq16 or ibmq50")
+		seed     = flag.Int64("seed", 0, "calibration seed")
+		eps      = flag.Float64("eps", 0.15, "EPST violation threshold")
+		look     = flag.Int("lookahead", 10, "scheduler lookahead N")
+		maxCo    = flag.Int("max-colocate", 3, "max programs per batch")
+		trials   = flag.Int("trials", 1000, "Monte-Carlo trials per batch")
+		jobNames = flag.String("jobs", "", "comma-separated benchmark names (default: tiny+small suite x2)")
+	)
+	flag.Parse()
+
+	var d *arch.Device
+	switch *chip {
+	case "ibmq16":
+		d = arch.IBMQ16(*seed)
+	case "ibmq50":
+		d = arch.IBMQ50(*seed)
+	default:
+		fatal(fmt.Errorf("unknown chip %q", *chip))
+	}
+
+	var jobs []sched.Job
+	if *jobNames == "" {
+		jobs = qucloud.Fig14Queue(2)
+	} else {
+		for i, name := range strings.Split(*jobNames, ",") {
+			c, err := nisqbench.Get(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			jobs = append(jobs, sched.Job{ID: i, Circ: c})
+		}
+	}
+	byID := map[int]*circuit.Circuit{}
+	for _, j := range jobs {
+		byID[j.ID] = j.Circ
+	}
+
+	cfg := sched.DefaultConfig()
+	cfg.Epsilon = *eps
+	cfg.Lookahead = *look
+	cfg.MaxColocate = *maxCo
+	if d.NumQubits() > 20 {
+		cfg.Omega = 0.40
+	}
+	batches, err := sched.Schedule(d, jobs, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("chip %s, %d jobs -> %d batches (eps=%.2f, N=%d)\n\n",
+		d.Name, len(jobs), len(batches), *eps, *look)
+	comp := qucloud.NewCompiler(d)
+	comp.Attempts = 2
+	noise := sim.DefaultNoise()
+	totalPST, count := 0.0, 0
+	for bi, b := range batches {
+		progs := make([]*circuit.Circuit, len(b.JobIDs))
+		names := make([]string, len(b.JobIDs))
+		for i, id := range b.JobIDs {
+			progs[i] = byID[id]
+			names[i] = progs[i].Name
+		}
+		strat := qucloud.CDAPXSwap
+		if len(progs) == 1 {
+			strat = qucloud.Separate
+		}
+		res, err := comp.Compile(progs, strat)
+		if err != nil {
+			res, err = comp.Compile(progs, qucloud.Separate)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		psts, err := comp.Simulate(res, *trials, *seed+int64(bi), noise)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("batch %2d (%s): %s\n", bi, res.Strategy, strings.Join(names, " + "))
+		for i, pst := range psts {
+			fmt.Printf("    %-16s PST %5.1f%%\n", names[i], pst*100)
+			totalPST += pst * 100
+			count++
+		}
+	}
+	fmt.Printf("\navg PST %.1f%%, TRF %.3f\n", totalPST/float64(count), sched.TRF(len(jobs), batches))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qusched:", err)
+	os.Exit(1)
+}

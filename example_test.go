@@ -1,0 +1,71 @@
+package qucloud_test
+
+import (
+	"fmt"
+
+	qucloud "repro"
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/community"
+	"repro/internal/nisqbench"
+	"repro/internal/sched"
+)
+
+// Compile two Table I benchmarks together on IBM Q16 Melbourne with the
+// full QuCloud pipeline (CDAP partitioning + X-SWAP routing).
+func ExampleCompiler_Compile() {
+	device := arch.IBMQ16(0) // synthetic calibration day 0
+	comp := qucloud.NewCompiler(device)
+	progs := []*circuit.Circuit{
+		nisqbench.MustGet("bv_n3"),
+		nisqbench.MustGet("toffoli_3"),
+	}
+	res, err := comp.Compile(progs, qucloud.CDAPXSwap)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("strategy: %s\n", res.Strategy)
+	fmt.Printf("programs: %d, schedules: %d\n", len(res.Programs), len(res.Schedules))
+	fmt.Printf("valid: %v\n", res.Validate() == nil)
+	// Output:
+	// strategy: CDAP+X-SWAP
+	// programs: 2, schedules: 1
+	// valid: true
+}
+
+// Build the hierarchy tree of Figure 8 (IBM Q London) and print its
+// dendrogram.
+func ExampleNewCompiler_hierarchyTree() {
+	device := arch.London()
+	tree := community.Build(device, 0.95)
+	fmt.Print(tree.Dendrogram())
+	// Output:
+	// [0 1 2 3 4] (merge 4)
+	//   [0 1 2] (merge 3)
+	//     [0 1] (merge 1)
+	//       Q0
+	//       Q1
+	//     Q2
+	//   [3 4] (merge 2)
+	//     Q3
+	//     Q4
+}
+
+// Schedule a four-job queue with the EPST task scheduler (Algorithm 4).
+func ExampleCompiler_scheduler() {
+	device := arch.IBMQ16(0)
+	jobs := []sched.Job{
+		{ID: 0, Circ: nisqbench.MustGet("bv_n3")},
+		{ID: 1, Circ: nisqbench.MustGet("bv_n4")},
+		{ID: 2, Circ: nisqbench.MustGet("toffoli_3")},
+		{ID: 3, Circ: nisqbench.MustGet("peres_3")},
+	}
+	cfg := sched.DefaultConfig() // epsilon = 0.15, N = 10
+	batches, err := sched.Schedule(device, jobs, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("batches: %d, TRF: %.2f\n", len(batches), sched.TRF(len(jobs), batches))
+	// Output:
+	// batches: 2, TRF: 2.00
+}

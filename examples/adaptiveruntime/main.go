@@ -1,0 +1,57 @@
+// Adaptiveruntime: the QuOS prototype. A feedback controller wraps the
+// EPST scheduler: each batch's achieved fidelity (Monte-Carlo execution
+// standing in for hardware) is compared against the separate-execution
+// expectation, and the co-location threshold epsilon adapts — backing
+// off when multi-programming hurts, probing upward when it is safe.
+// This closes the loop the paper's §III says static compilers cannot:
+// reverting to separate execution when fidelity drops.
+//
+//	go run ./examples/adaptiveruntime
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/nisqbench"
+	"repro/internal/quos"
+	"repro/internal/sched"
+)
+
+func main() {
+	device := arch.IBMQ16(0)
+
+	// A queue mixing friendly tiny programs with deeper small ones.
+	var names []string
+	names = append(names, nisqbench.ByClass(nisqbench.Tiny)...)
+	names = append(names, nisqbench.ByClass(nisqbench.Small)...)
+	names = append(names, names...)
+	jobs := make([]sched.Job, len(names))
+	for i, n := range names {
+		jobs[i] = sched.Job{ID: i, Circ: nisqbench.MustGet(n)}
+	}
+	fmt.Printf("QuOS adaptive runtime on %s: %d queued jobs\n\n", device.Name, len(jobs))
+
+	cfg := quos.DefaultConfig()
+	res, err := quos.Run(device, jobs, cfg, 2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-5s %-42s %8s %8s %8s\n", "batch", "jobs", "PST(%)", "est(%)", "eps")
+	for i, r := range res.Reports {
+		mark := ""
+		if r.Violated {
+			mark = "  <- fidelity violation, backing off"
+		}
+		ids := make([]string, len(r.JobIDs))
+		for k, id := range r.JobIDs {
+			ids[k] = jobs[id].Circ.Name
+		}
+		fmt.Printf("%-5d %-42s %8.1f %8.1f %8.3f%s\n",
+			i, strings.Join(ids, "+"), r.AvgPST*100, r.SeparateEstimate*100, r.EpsilonAfter, mark)
+	}
+	fmt.Printf("\noverall: avg PST %.1f%%, TRF %.2f, final epsilon %.3f\n",
+		res.AvgPST*100, res.TRF, res.FinalEpsilon)
+}

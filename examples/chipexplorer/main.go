@@ -1,0 +1,71 @@
+// Chipexplorer: inspect the community-detection substrate behind CDAP.
+// It prints each device's hierarchy tree (the dendrogram of Algorithm 1
+// and Figure 8), sweeps the reward weight omega to find the knee
+// solution of Figure 9, and shows how the partition changes with omega.
+//
+//	go run ./examples/chipexplorer
+package main
+
+import (
+	"fmt"
+
+	qucloud "repro"
+	"repro/internal/arch"
+	"repro/internal/community"
+)
+
+func main() {
+	// Figure 8's worked example: the 5-qubit IBM Q London "T".
+	london := arch.London()
+	fmt.Println("IBM Q London dendrogram (omega = 0.95):")
+	fmt.Print(community.Build(london, 0.95).Dendrogram())
+
+	// Omega controls the blend of topology and error awareness in the
+	// merge reward F = dQ + omega*E*V. At 0 the tree is topology-only.
+	fmt.Println("\nmerge order vs omega on London:")
+	for _, w := range []float64{0, 0.95, 100} {
+		tree := community.Build(london, w)
+		fmt.Printf("  omega %-6g:", w)
+		for _, m := range tree.MergeOrder() {
+			fmt.Printf(" %v+%v", m[0], m[1])
+		}
+		fmt.Println()
+	}
+
+	// Figure 9: the knee of the redundant-qubits curve picks omega.
+	for _, tc := range []struct {
+		name string
+		dev  *arch.Device
+		days int
+	}{
+		{"IBMQ16", arch.IBMQ16(0), 21},
+		{"IBMQ50", arch.IBMQ50(0), 5},
+	} {
+		res := qucloud.RunFig9(tc.dev, tc.days, 0.05)
+		fmt.Printf("\n%s omega sweep (%d days): redundant %.2f at omega 0 -> %.2f at omega 2.5; knee at %.2f\n",
+			tc.name, tc.days,
+			res.AvgRedundant[0], res.AvgRedundant[len(res.AvgRedundant)-1], res.KneeOmega())
+	}
+
+	// The hierarchy tree doubles as a chip profile: deep nodes are the
+	// most reliable regions.
+	d := arch.IBMQ16(0)
+	tree := community.Build(d, 0.95)
+	fmt.Println("\nmost reliable 4-qubit communities on IBMQ16 (by region fidelity):")
+	type scored struct {
+		qubits []int
+		fid    float64
+	}
+	var best []scored
+	for _, n := range tree.Nodes() {
+		if n.Size() == 4 {
+			best = append(best, scored{n.Qubits, d.RegionFidelity(n.Qubits)})
+		}
+	}
+	for _, s := range best {
+		fmt.Printf("  %v  fidelity %.4f\n", s.qubits, s.fid)
+	}
+	if len(best) == 0 {
+		fmt.Println("  (no exact 4-qubit community this calibration; CDAP would subset a larger one)")
+	}
+}

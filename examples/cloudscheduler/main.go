@@ -1,0 +1,62 @@
+// Cloudscheduler: drive the EPST-based compilation task scheduler
+// (Algorithm 4) over a queue of jobs and sweep the fidelity-violation
+// threshold epsilon, reproducing the trade-off of the paper's Figure 14:
+// larger epsilon means more co-location (higher TRF/throughput) at some
+// fidelity cost.
+//
+//	go run ./examples/cloudscheduler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	qucloud "repro"
+	"repro/internal/arch"
+	"repro/internal/sched"
+)
+
+func main() {
+	device := arch.IBMQ16(0)
+
+	// The queue: every tiny- and small-sized Table I program, twice.
+	jobs := qucloud.Fig14Queue(2)
+	fmt.Printf("queue: %d jobs on %s\n\n", len(jobs), device.Name)
+
+	for _, eps := range []float64{0.05, 0.10, 0.15, 0.20} {
+		cfg := sched.DefaultConfig()
+		cfg.Epsilon = eps
+		batches, err := sched.Schedule(device, jobs, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		multi := 0
+		for _, b := range batches {
+			if len(b.JobIDs) > 1 {
+				multi++
+			}
+		}
+		fmt.Printf("eps=%.2f: %2d batches (%2d multi-program), TRF %.3f\n",
+			eps, len(batches), multi, sched.TRF(len(jobs), batches))
+	}
+
+	// Show what one schedule actually looks like.
+	cfg := sched.DefaultConfig()
+	cfg.Epsilon = 0.15
+	batches, err := sched.Schedule(device, jobs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byID := map[int]string{}
+	for _, j := range jobs {
+		byID[j.ID] = j.Circ.Name
+	}
+	fmt.Println("\nschedule at eps=0.15:")
+	for bi, b := range batches {
+		fmt.Printf("  batch %2d:", bi)
+		for _, id := range b.JobIDs {
+			fmt.Printf(" %s", byID[id])
+		}
+		fmt.Println()
+	}
+}

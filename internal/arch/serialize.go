@@ -1,0 +1,81 @@
+package arch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// DeviceSpec is the JSON-serializable description of a device: the
+// coupling map plus calibration. It lets users import real backend
+// calibration data (e.g. exported from a provider's API) instead of the
+// synthetic generator.
+type DeviceSpec struct {
+	Name   string `json:"name"`
+	Qubits int    `json:"qubits"`
+	// Edges lists the coupling map; CNOTErr is aligned with it.
+	Edges      [][2]int  `json:"edges"`
+	CNOTErr    []float64 `json:"cnot_err"`
+	ReadoutErr []float64 `json:"readout_err"`
+	Gate1Err   []float64 `json:"gate1_err"`
+}
+
+// Spec returns the device's serializable description.
+func (d *Device) Spec() DeviceSpec {
+	edges := d.Coupling.Edges()
+	spec := DeviceSpec{
+		Name:       d.Name,
+		Qubits:     d.NumQubits(),
+		Edges:      make([][2]int, len(edges)),
+		CNOTErr:    make([]float64, len(edges)),
+		ReadoutErr: append([]float64(nil), d.ReadoutErr...),
+		Gate1Err:   append([]float64(nil), d.Gate1Err...),
+	}
+	for i, e := range edges {
+		spec.Edges[i] = [2]int{e.U, e.V}
+		spec.CNOTErr[i] = d.CNOTErr[e]
+	}
+	return spec
+}
+
+// FromSpec builds and validates a Device from its description.
+func FromSpec(spec DeviceSpec) (*Device, error) {
+	if spec.Qubits <= 0 {
+		return nil, fmt.Errorf("arch: spec %q has %d qubits", spec.Name, spec.Qubits)
+	}
+	if len(spec.CNOTErr) != len(spec.Edges) {
+		return nil, fmt.Errorf("arch: spec %q has %d edges but %d cnot_err entries",
+			spec.Name, len(spec.Edges), len(spec.CNOTErr))
+	}
+	d := newDevice(spec.Name, spec.Qubits, spec.Edges)
+	for i, e := range spec.Edges {
+		d.CNOTErr[graph.NewEdge(e[0], e[1])] = spec.CNOTErr[i]
+	}
+	if len(spec.ReadoutErr) != spec.Qubits || len(spec.Gate1Err) != spec.Qubits {
+		return nil, fmt.Errorf("arch: spec %q per-qubit arrays must have %d entries", spec.Name, spec.Qubits)
+	}
+	copy(d.ReadoutErr, spec.ReadoutErr)
+	copy(d.Gate1Err, spec.Gate1Err)
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// SaveDevice writes the device as indented JSON.
+func SaveDevice(w io.Writer, d *Device) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d.Spec())
+}
+
+// LoadDevice reads a JSON DeviceSpec and builds the device.
+func LoadDevice(r io.Reader) (*Device, error) {
+	var spec DeviceSpec
+	if err := json.NewDecoder(r).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("arch: decoding device spec: %w", err)
+	}
+	return FromSpec(spec)
+}

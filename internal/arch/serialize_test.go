@@ -1,0 +1,60 @@
+package arch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDeviceJSONRoundTrip(t *testing.T) {
+	for _, name := range StandardDevices() {
+		orig, err := ByName(name, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := SaveDevice(&buf, orig); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := LoadDevice(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Name != orig.Name || got.NumQubits() != orig.NumQubits() || got.Coupling.M() != orig.Coupling.M() {
+			t.Fatalf("%s: shape mismatch after round trip", name)
+		}
+		for e, v := range orig.CNOTErr {
+			if got.CNOTErr[e] != v {
+				t.Fatalf("%s: CNOT err mismatch at %v", name, e)
+			}
+		}
+		for q := range orig.ReadoutErr {
+			if got.ReadoutErr[q] != orig.ReadoutErr[q] || got.Gate1Err[q] != orig.Gate1Err[q] {
+				t.Fatalf("%s: per-qubit calibration mismatch at %d", name, q)
+			}
+		}
+	}
+}
+
+func TestFromSpecValidation(t *testing.T) {
+	good := IBMQ16(0).Spec()
+	cases := []func(s DeviceSpec) DeviceSpec{
+		func(s DeviceSpec) DeviceSpec { s.Qubits = 0; return s },
+		func(s DeviceSpec) DeviceSpec { s.CNOTErr = s.CNOTErr[:1]; return s },
+		func(s DeviceSpec) DeviceSpec { s.ReadoutErr = s.ReadoutErr[:2]; return s },
+		func(s DeviceSpec) DeviceSpec { s.CNOTErr[0] = 1.5; return s },
+	}
+	for i, mutate := range cases {
+		spec := IBMQ16(0).Spec()
+		_ = good
+		if _, err := FromSpec(mutate(spec)); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestLoadDeviceRejectsGarbage(t *testing.T) {
+	if _, err := LoadDevice(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage must error")
+	}
+}

@@ -1,0 +1,94 @@
+package arch
+
+import "fmt"
+
+// tokyoEdges is the coupling map of IBM Q20 Tokyo: a 4x5 grid with the
+// diagonal couplers of the production device (the chip SABRE and the
+// noise-adaptive mapping papers evaluate on).
+var tokyoEdges = [][2]int{
+	// horizontal
+	{0, 1}, {1, 2}, {2, 3}, {3, 4},
+	{5, 6}, {6, 7}, {7, 8}, {8, 9},
+	{10, 11}, {11, 12}, {12, 13}, {13, 14},
+	{15, 16}, {16, 17}, {17, 18}, {18, 19},
+	// vertical
+	{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9},
+	{5, 10}, {6, 11}, {7, 12}, {8, 13}, {9, 14},
+	{10, 15}, {11, 16}, {12, 17}, {13, 18}, {14, 19},
+	// diagonal couplers
+	{1, 7}, {2, 6}, {3, 9}, {4, 8},
+	{5, 11}, {6, 10}, {7, 13}, {8, 12},
+	{11, 17}, {12, 16}, {13, 19}, {14, 18},
+}
+
+// Tokyo returns the 20-qubit IBM Q20 Tokyo device with synthetic
+// calibration drawn from the given seed.
+func Tokyo(seed int64) *Device {
+	d := newDevice("tokyo", 20, tokyoEdges)
+	ApplyCalibration(d, GenerateCalibration(d, seed))
+	return d
+}
+
+// falcon27Edges is the heavy-hex coupling map of IBM's 27-qubit Falcon
+// processors (e.g. ibmq_montreal / ibmq_mumbai).
+var falcon27Edges = [][2]int{
+	{0, 1}, {1, 2}, {1, 4}, {2, 3}, {3, 5}, {4, 7}, {5, 8}, {6, 7},
+	{7, 10}, {8, 9}, {8, 11}, {10, 12}, {11, 14}, {12, 13}, {12, 15},
+	{13, 14}, {14, 16}, {15, 18}, {16, 19}, {17, 18}, {18, 21},
+	{19, 20}, {19, 22}, {21, 23}, {22, 25}, {23, 24}, {24, 25}, {25, 26},
+}
+
+// Falcon27 returns a 27-qubit heavy-hex device (IBM Falcon layout) with
+// synthetic calibration from the given seed. Heavy-hex lattices are the
+// topology of IBM's post-2020 chips, including the 53-qubit cloud
+// device the paper's introduction cites.
+func Falcon27(seed int64) *Device {
+	d := newDevice("falcon27", 27, falcon27Edges)
+	ApplyCalibration(d, GenerateCalibration(d, seed))
+	return d
+}
+
+// Ring returns an n-qubit cycle device with uniform calibration, useful
+// for tests needing two disjoint routes between any pair.
+func Ring(n int, cnotErr, readoutErr float64) *Device {
+	if n < 3 {
+		panic("arch: ring needs >= 3 qubits")
+	}
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n})
+	}
+	d := newDevice(fmt.Sprintf("ring%d", n), n, edges)
+	for e := range d.CNOTErr {
+		d.CNOTErr[e] = cnotErr
+	}
+	for q := 0; q < n; q++ {
+		d.ReadoutErr[q] = readoutErr
+		d.Gate1Err[q] = cnotErr / 10
+	}
+	return d
+}
+
+// ByName builds a standard device by name ("ibmq16", "ibmq50", "tokyo",
+// "falcon27", "london") with the given calibration seed. CLI tools and
+// the scalability experiment use it.
+func ByName(name string, seed int64) (*Device, error) {
+	switch name {
+	case "ibmq16":
+		return IBMQ16(seed), nil
+	case "ibmq50":
+		return IBMQ50(seed), nil
+	case "tokyo":
+		return Tokyo(seed), nil
+	case "falcon27":
+		return Falcon27(seed), nil
+	case "london":
+		return London(), nil
+	}
+	return nil, fmt.Errorf("arch: unknown device %q (ibmq16, ibmq50, tokyo, falcon27, london)", name)
+}
+
+// StandardDevices lists the named chips ByName accepts, smallest first.
+func StandardDevices() []string {
+	return []string{"london", "ibmq16", "tokyo", "falcon27", "ibmq50"}
+}

@@ -1,0 +1,99 @@
+package arch
+
+import "testing"
+
+func TestTokyoShape(t *testing.T) {
+	d := Tokyo(0)
+	if d.NumQubits() != 20 {
+		t.Fatalf("qubits = %d", d.NumQubits())
+	}
+	if got, want := d.Coupling.M(), 43; got != want {
+		t.Fatalf("edges = %d, want %d", got, want)
+	}
+	if !d.Coupling.Connected() {
+		t.Fatal("tokyo must be connected")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Corner 0 touches 1 and 5 only.
+	if d.Coupling.Degree(0) != 2 {
+		t.Fatalf("q0 degree = %d, want 2", d.Coupling.Degree(0))
+	}
+}
+
+func TestFalcon27Shape(t *testing.T) {
+	d := Falcon27(0)
+	if d.NumQubits() != 27 {
+		t.Fatalf("qubits = %d", d.NumQubits())
+	}
+	if got, want := d.Coupling.M(), 28; got != want {
+		t.Fatalf("edges = %d, want %d", got, want)
+	}
+	if !d.Coupling.Connected() {
+		t.Fatal("falcon27 must be connected")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Heavy-hex: max degree 3.
+	for q := 0; q < d.NumQubits(); q++ {
+		if d.Coupling.Degree(q) > 3 {
+			t.Fatalf("q%d degree %d > 3 on heavy-hex", q, d.Coupling.Degree(q))
+		}
+	}
+}
+
+func TestRingShape(t *testing.T) {
+	d := Ring(6, 0.02, 0.02)
+	if d.Coupling.M() != 6 {
+		t.Fatalf("edges = %d", d.Coupling.M())
+	}
+	for q := 0; q < 6; q++ {
+		if d.Coupling.Degree(q) != 2 {
+			t.Fatalf("ring degree = %d", d.Coupling.Degree(q))
+		}
+	}
+	// Two disjoint routes: distance 0->3 is 3 both ways.
+	if d.Hops()[0][3] != 3 {
+		t.Fatalf("ring d(0,3) = %d", d.Hops()[0][3])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ring with <3 qubits must panic")
+		}
+	}()
+	Ring(2, 0.02, 0.02)
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range StandardDevices() {
+		d, err := ByName(name, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !d.Coupling.Connected() {
+			t.Fatalf("%s not connected", name)
+		}
+	}
+	if _, err := ByName("bogus", 0); err == nil {
+		t.Fatal("unknown name must error")
+	}
+}
+
+func TestStandardDevicesSortedBySize(t *testing.T) {
+	prev := 0
+	for _, name := range StandardDevices() {
+		d, err := ByName(name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.NumQubits() < prev {
+			t.Fatalf("%s (%d qubits) out of size order", name, d.NumQubits())
+		}
+		prev = d.NumQubits()
+	}
+}

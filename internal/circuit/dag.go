@@ -1,0 +1,251 @@
+package circuit
+
+import "sort"
+
+// DAG is the data-dependency graph of a circuit: gate i precedes gate j
+// when they share a qubit and i comes first, with transitively implied
+// edges omitted (each qubit contributes a chain). Barriers order
+// everything before them against everything after.
+type DAG struct {
+	Circ *Circuit
+	// Succ[i] and Pred[i] are the direct successors/predecessors of
+	// gate i, sorted ascending.
+	Succ [][]int
+	Pred [][]int
+}
+
+// NewDAG builds the dependency DAG of c.
+func NewDAG(c *Circuit) *DAG {
+	n := len(c.Gates)
+	d := &DAG{
+		Circ: c,
+		Succ: make([][]int, n),
+		Pred: make([][]int, n),
+	}
+	last := make([]int, c.NumQubits) // last gate index touching qubit, -1 if none
+	for i := range last {
+		last[i] = -1
+	}
+	addEdge := func(from, to int) {
+		d.Succ[from] = append(d.Succ[from], to)
+		d.Pred[to] = append(d.Pred[to], from)
+	}
+	barrierFrontier := -1
+	for i, g := range c.Gates {
+		if g.IsBarrier() {
+			// A barrier depends on the last gate of every qubit.
+			seen := map[int]bool{}
+			for q := 0; q < c.NumQubits; q++ {
+				if last[q] >= 0 && !seen[last[q]] {
+					seen[last[q]] = true
+					addEdge(last[q], i)
+				}
+				last[q] = i
+			}
+			barrierFrontier = i
+			continue
+		}
+		seen := map[int]bool{}
+		for _, q := range g.Qubits {
+			if last[q] >= 0 && !seen[last[q]] {
+				seen[last[q]] = true
+				addEdge(last[q], i)
+			}
+			last[q] = i
+		}
+		if len(seen) == 0 && barrierFrontier >= 0 {
+			addEdge(barrierFrontier, i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		sort.Ints(d.Succ[i])
+		sort.Ints(d.Pred[i])
+	}
+	return d
+}
+
+// CriticalPathLen returns the number of gates on the longest dependency
+// chain (the DAG's critical path), which equals the gate-count depth of
+// the circuit when every gate costs one layer.
+func (d *DAG) CriticalPathLen() int {
+	n := len(d.Circ.Gates)
+	memo := make([]int, n)
+	for i := range memo {
+		memo[i] = -1
+	}
+	var longest func(i int) int
+	longest = func(i int) int {
+		if memo[i] >= 0 {
+			return memo[i]
+		}
+		best := 0
+		for _, s := range d.Succ[i] {
+			if l := longest(s); l > best {
+				best = l
+			}
+		}
+		memo[i] = best + 1
+		return memo[i]
+	}
+	max := 0
+	for i := 0; i < n; i++ {
+		if l := longest(i); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// State tracks routing progress over a DAG: which gates have been
+// emitted and which are currently in the front layer (no unexecuted
+// predecessors). It is the per-program "program context" of Algorithm 3.
+type State struct {
+	dag      *DAG
+	executed []bool
+	npred    []int
+	front    map[int]bool
+	done     int
+}
+
+// NewState returns a fresh routing state with the initial front layer
+// populated.
+func NewState(d *DAG) *State {
+	n := len(d.Circ.Gates)
+	s := &State{
+		dag:      d,
+		executed: make([]bool, n),
+		npred:    make([]int, n),
+		front:    make(map[int]bool),
+	}
+	for i := 0; i < n; i++ {
+		s.npred[i] = len(d.Pred[i])
+		if s.npred[i] == 0 {
+			s.front[i] = true
+		}
+	}
+	return s
+}
+
+// DAG returns the underlying dependency graph.
+func (s *State) DAG() *DAG { return s.dag }
+
+// Done reports whether every gate has been executed.
+func (s *State) Done() bool { return s.done == len(s.executed) }
+
+// Remaining returns the number of unexecuted gates.
+func (s *State) Remaining() int { return len(s.executed) - s.done }
+
+// Front returns the current front layer as a sorted gate-index slice.
+func (s *State) Front() []int {
+	out := make([]int, 0, len(s.front))
+	for i := range s.front {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FrontTwoQubit returns the front-layer gates that are two-qubit gates
+// (the only ones that can be hardware-incompliant), sorted.
+func (s *State) FrontTwoQubit() []int {
+	var out []int
+	for i := range s.front {
+		if s.dag.Circ.Gates[i].IsTwoQubit() {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Execute marks gate i as done, updating the front layer. It panics if
+// i is not currently in the front layer (dependency violation).
+func (s *State) Execute(i int) {
+	if !s.front[i] {
+		panic("circuit: executing a gate outside the front layer")
+	}
+	delete(s.front, i)
+	s.executed[i] = true
+	s.done++
+	for _, succ := range s.dag.Succ[i] {
+		s.npred[succ]--
+		if s.npred[succ] == 0 && !s.executed[succ] {
+			s.front[succ] = true
+		}
+	}
+}
+
+// Executed reports whether gate i has been executed.
+func (s *State) Executed(i int) bool { return s.executed[i] }
+
+// CriticalGates returns the front-layer two-qubit gates that have at
+// least one two-qubit successor whose remaining dependencies would be
+// (partly) resolved by executing them — the paper's Critical Gates (CG):
+// CNOTs in F with successors on the second layer. Resolving them first
+// advances the front layer fastest.
+func (s *State) CriticalGates() []int {
+	var out []int
+	for i := range s.front {
+		g := s.dag.Circ.Gates[i]
+		if !g.IsTwoQubit() {
+			continue
+		}
+		if s.hasTwoQubitDescendantInSecondLayer(i) {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// hasTwoQubitDescendantInSecondLayer reports whether front gate i has a
+// successor two-qubit gate reachable through only already-executed or
+// single-qubit gates — i.e. a CNOT on the "second layer" that executing
+// i helps unblock.
+func (s *State) hasTwoQubitDescendantInSecondLayer(i int) bool {
+	seen := map[int]bool{}
+	stack := append([]int(nil), s.dag.Succ[i]...)
+	for len(stack) > 0 {
+		j := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[j] || s.executed[j] {
+			continue
+		}
+		seen[j] = true
+		g := s.dag.Circ.Gates[j]
+		if g.IsTwoQubit() {
+			return true
+		}
+		// 1q gates and barriers are free; look through them.
+		stack = append(stack, s.dag.Succ[j]...)
+	}
+	return false
+}
+
+// ExtendedSet returns up to limit unexecuted two-qubit gates that follow
+// the front layer in dependency order (SABRE's look-ahead window E).
+func (s *State) ExtendedSet(limit int) []int {
+	var out []int
+	seen := map[int]bool{}
+	// BFS from the front layer through the DAG.
+	queue := s.Front()
+	for len(queue) > 0 && len(out) < limit {
+		i := queue[0]
+		queue = queue[1:]
+		for _, succ := range s.dag.Succ[i] {
+			if seen[succ] || s.executed[succ] {
+				continue
+			}
+			seen[succ] = true
+			if s.dag.Circ.Gates[succ].IsTwoQubit() && !s.front[succ] {
+				out = append(out, succ)
+				if len(out) >= limit {
+					break
+				}
+			}
+			queue = append(queue, succ)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,164 @@
+package circuit
+
+import "math"
+
+// Optimize applies the standard peephole cleanups a high-optimization
+// compiler pass performs after routing, repeating until a fixed point:
+//
+//   - self-inverse cancellation: adjacent identical h/x/y/z/cx/cz/swap
+//     pairs on the same qubits annihilate;
+//   - inverse-pair cancellation: s·sdg, t·tdg (either order);
+//   - rotation fusion: adjacent rz/rx/ry/u1 on the same qubit merge by
+//     adding angles; a merged angle of ~0 (mod 2pi) drops the gate.
+//
+// "Adjacent" means no intervening gate touches any shared qubit.
+// Barriers block all optimization across them; measurements terminate a
+// qubit's timeline. The input circuit is not modified.
+func Optimize(c *Circuit) *Circuit {
+	cur := c.Clone()
+	for {
+		next, changed := optimizePass(cur)
+		if !changed {
+			next.Name = c.Name
+			return next
+		}
+		cur = next
+	}
+}
+
+// selfInverse lists gates that cancel with an identical copy of
+// themselves on the same operands.
+var selfInverse = map[string]bool{
+	GateH: true, GateX: true, GateY: true, GateZ: true,
+	GateCX: true, GateCZ: true, GateSWAP: true,
+}
+
+// inversePairs maps a gate name to the name that cancels it.
+var inversePairs = map[string]string{
+	GateS: GateSdg, GateSdg: GateS,
+	GateT: GateTdg, GateTdg: GateT,
+}
+
+// rotations lists the fusable single-qubit rotations.
+var rotations = map[string]bool{
+	GateRZ: true, GateRX: true, GateRY: true, GateU1: true,
+}
+
+func optimizePass(c *Circuit) (*Circuit, bool) {
+	n := len(c.Gates)
+	removed := make([]bool, n)
+	// last[q] is the index of the most recent surviving gate touching
+	// qubit q, or -1.
+	last := make([]int, c.NumQubits)
+	for i := range last {
+		last[i] = -1
+	}
+	gates := make([]Gate, n)
+	copy(gates, c.Gates)
+	changed := false
+
+	sameQubits := func(a, b Gate) bool {
+		if len(a.Qubits) != len(b.Qubits) {
+			return false
+		}
+		for i := range a.Qubits {
+			if a.Qubits[i] != b.Qubits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	// For symmetric gates (cz, swap) operand order is irrelevant.
+	sameQubitsSym := func(a, b Gate) bool {
+		if len(a.Qubits) == 2 && len(b.Qubits) == 2 {
+			return (a.Qubits[0] == b.Qubits[0] && a.Qubits[1] == b.Qubits[1]) ||
+				(a.Qubits[0] == b.Qubits[1] && a.Qubits[1] == b.Qubits[0])
+		}
+		return sameQubits(a, b)
+	}
+
+	for i := 0; i < n; i++ {
+		g := gates[i]
+		if g.IsBarrier() {
+			for q := range last {
+				last[q] = -2 // wall: nothing fuses across a barrier
+			}
+			continue
+		}
+		// The candidate predecessor must be the immediate last gate on
+		// every operand qubit.
+		prev := -1
+		ok := true
+		for _, q := range g.Qubits {
+			if last[q] < 0 {
+				ok = false
+				break
+			}
+			if prev == -1 {
+				prev = last[q]
+			} else if prev != last[q] {
+				ok = false
+				break
+			}
+		}
+		if ok && prev >= 0 && !removed[prev] {
+			p := gates[prev]
+			switch {
+			case selfInverse[g.Name] && p.Name == g.Name &&
+				((g.Name == GateCZ || g.Name == GateSWAP) && sameQubitsSym(p, g) ||
+					(g.Name != GateCZ && g.Name != GateSWAP) && sameQubits(p, g)):
+				// Also require the predecessor to own exactly the same
+				// qubit set (a cx can only cancel a cx on both qubits).
+				if len(p.Qubits) == len(g.Qubits) {
+					removed[prev] = true
+					removed[i] = true
+					changed = true
+					for _, q := range g.Qubits {
+						last[q] = -1
+					}
+					continue
+				}
+			case inversePairs[g.Name] == p.Name && sameQubits(p, g):
+				removed[prev] = true
+				removed[i] = true
+				changed = true
+				for _, q := range g.Qubits {
+					last[q] = -1
+				}
+				continue
+			case rotations[g.Name] && p.Name == g.Name && sameQubits(p, g):
+				theta := p.Params[0] + g.Params[0]
+				removed[i] = true
+				changed = true
+				if isZeroAngle(theta) {
+					removed[prev] = true
+					last[g.Qubits[0]] = -1
+				} else {
+					gates[prev] = Gate{Name: g.Name, Qubits: p.Qubits, Params: []float64{theta}}
+					// prev stays the last gate on this qubit.
+				}
+				continue
+			}
+		}
+		for _, q := range g.Qubits {
+			last[q] = i
+		}
+	}
+
+	out := New(c.Name, c.NumQubits)
+	for i, g := range gates {
+		if !removed[i] {
+			out.Add(g)
+		}
+	}
+	return out, changed
+}
+
+// isZeroAngle reports whether theta is ~0 modulo 2pi.
+func isZeroAngle(theta float64) bool {
+	m := math.Mod(theta, 2*math.Pi)
+	if m < 0 {
+		m += 2 * math.Pi
+	}
+	return m < 1e-10 || 2*math.Pi-m < 1e-10
+}

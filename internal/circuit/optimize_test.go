@@ -1,0 +1,204 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOptimizeCancelsAdjacentCX(t *testing.T) {
+	c := New("c", 2)
+	c.CX(0, 1).CX(0, 1)
+	o := Optimize(c)
+	if len(o.Gates) != 0 {
+		t.Fatalf("gates = %v, want none", o.Gates)
+	}
+}
+
+func TestOptimizeKeepsOppositeOrientationCX(t *testing.T) {
+	c := New("c", 2)
+	c.CX(0, 1).CX(1, 0)
+	o := Optimize(c)
+	if len(o.Gates) != 2 {
+		t.Fatalf("cx(0,1) cx(1,0) must survive, got %v", o.Gates)
+	}
+}
+
+func TestOptimizeSwapAndCZAreSymmetric(t *testing.T) {
+	c := New("c", 2)
+	c.SWAP(0, 1).SWAP(1, 0)
+	if o := Optimize(c); len(o.Gates) != 0 {
+		t.Fatalf("swap pair must cancel, got %v", o.Gates)
+	}
+	c2 := New("c2", 2)
+	c2.CZ(0, 1).CZ(1, 0)
+	if o := Optimize(c2); len(o.Gates) != 0 {
+		t.Fatalf("cz pair must cancel, got %v", o.Gates)
+	}
+}
+
+func TestOptimizeBlockedByInterveningGate(t *testing.T) {
+	c := New("c", 2)
+	c.CX(0, 1).H(0).CX(0, 1)
+	o := Optimize(c)
+	if len(o.Gates) != 3 {
+		t.Fatalf("intervening h must block cancellation, got %v", o.Gates)
+	}
+	// A gate on an unrelated qubit must NOT block.
+	c2 := New("c2", 3)
+	c2.CX(0, 1).H(2).CX(0, 1)
+	o2 := Optimize(c2)
+	if len(o2.Gates) != 1 || o2.Gates[0].Name != GateH {
+		t.Fatalf("unrelated gate must not block, got %v", o2.Gates)
+	}
+}
+
+func TestOptimizePartialOverlapBlocks(t *testing.T) {
+	// cx(0,1) x(1) cx(0,1): the x touches qubit 1, blocking.
+	c := New("c", 2)
+	c.CX(0, 1).X(1).CX(0, 1)
+	if o := Optimize(c); len(o.Gates) != 3 {
+		t.Fatalf("gates = %v", o.Gates)
+	}
+	// h(0) between cx pair on (0,1): blocks via shared qubit 0.
+	c2 := New("c2", 3)
+	c2.CX(0, 1).CX(1, 2) // different pairs; nothing cancels
+	if o := Optimize(c2); len(o.Gates) != 2 {
+		t.Fatalf("gates = %v", o.Gates)
+	}
+}
+
+func TestOptimizeInversePairs(t *testing.T) {
+	c := New("c", 1)
+	c.S(0).Sdg(0).T(0).Tdg(0).Tdg(0).T(0)
+	if o := Optimize(c); len(o.Gates) != 0 {
+		t.Fatalf("s/sdg t/tdg pairs must cancel, got %v", o.Gates)
+	}
+}
+
+func TestOptimizeRotationFusion(t *testing.T) {
+	c := New("c", 1)
+	c.RZ(0.3, 0).RZ(0.4, 0)
+	o := Optimize(c)
+	if len(o.Gates) != 1 || math.Abs(o.Gates[0].Params[0]-0.7) > 1e-12 {
+		t.Fatalf("gates = %v", o.Gates)
+	}
+}
+
+func TestOptimizeRotationFusionToZero(t *testing.T) {
+	c := New("c", 1)
+	c.RX(0.5, 0).RX(-0.5, 0)
+	if o := Optimize(c); len(o.Gates) != 0 {
+		t.Fatalf("rx pair summing to 0 must vanish, got %v", o.Gates)
+	}
+	c2 := New("c2", 1)
+	c2.RZ(math.Pi, 0).RZ(math.Pi, 0)
+	if o := Optimize(c2); len(o.Gates) != 0 {
+		t.Fatalf("rz pair summing to 2pi must vanish, got %v", o.Gates)
+	}
+}
+
+func TestOptimizeChainsAcrossPasses(t *testing.T) {
+	// h x x h: inner xs cancel, then the hs become adjacent and cancel.
+	c := New("c", 1)
+	c.H(0).X(0).X(0).H(0)
+	if o := Optimize(c); len(o.Gates) != 0 {
+		t.Fatalf("nested pairs must fully cancel, got %v", o.Gates)
+	}
+}
+
+func TestOptimizeBarrierBlocks(t *testing.T) {
+	c := New("c", 1)
+	c.X(0).Add(Gate{Name: GateBarrier}).X(0)
+	if o := Optimize(c); len(o.Gates) != 3 {
+		t.Fatalf("barrier must block, got %v", o.Gates)
+	}
+}
+
+func TestOptimizeMeasurePreserved(t *testing.T) {
+	c := New("c", 1)
+	c.X(0).Measure(0)
+	o := Optimize(c)
+	if o.MeasureCount() != 1 || o.Gate1Count() != 1 {
+		t.Fatalf("gates = %v", o.Gates)
+	}
+}
+
+func TestOptimizeDoesNotMutateInput(t *testing.T) {
+	c := New("c", 2)
+	c.CX(0, 1).CX(0, 1)
+	Optimize(c)
+	if len(c.Gates) != 2 {
+		t.Fatal("input circuit mutated")
+	}
+}
+
+func TestOptimizeMixedRotationsDontFuse(t *testing.T) {
+	c := New("c", 1)
+	c.RZ(0.3, 0).RX(0.4, 0)
+	if o := Optimize(c); len(o.Gates) != 2 {
+		t.Fatalf("rz+rx must not fuse, got %v", o.Gates)
+	}
+}
+
+// Property: optimization preserves the circuit's unitary action on
+// every computational basis state for classical (X/CX/SWAP) circuits —
+// checked by tracking basis-state permutations symbolically.
+func TestOptimizePreservesClassicalSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 3
+		c := New("r", n)
+		s := seed
+		for k := 0; k < 24; k++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			a := int(uint64(s)>>33) % n
+			b := int(uint64(s)>>13) % n
+			switch uint64(s) % 3 {
+			case 0:
+				c.X(a)
+			case 1:
+				if a != b {
+					c.CX(a, b)
+				}
+			default:
+				if a != b {
+					c.SWAP(a, b)
+				}
+			}
+		}
+		o := Optimize(c)
+		if len(o.Gates) > len(c.Gates) {
+			return false
+		}
+		// Apply both to every basis state.
+		apply := func(circ *Circuit, in int) int {
+			bits := in
+			for _, g := range circ.Gates {
+				switch g.Name {
+				case GateX:
+					bits ^= 1 << uint(g.Qubits[0])
+				case GateCX:
+					if bits&(1<<uint(g.Qubits[0])) != 0 {
+						bits ^= 1 << uint(g.Qubits[1])
+					}
+				case GateSWAP:
+					a, b := uint(g.Qubits[0]), uint(g.Qubits[1])
+					ba, bb := (bits>>a)&1, (bits>>b)&1
+					if ba != bb {
+						bits ^= 1<<a | 1<<b
+					}
+				}
+			}
+			return bits
+		}
+		for in := 0; in < 1<<n; in++ {
+			if apply(c, in) != apply(o, in) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

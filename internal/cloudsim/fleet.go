@@ -1,0 +1,165 @@
+package cloudsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/core"
+)
+
+// FleetMetrics aggregates a multi-backend simulation.
+type FleetMetrics struct {
+	Metrics
+	// PerDevice maps device name to the jobs it completed.
+	PerDevice map[string]int
+}
+
+// RunFleet simulates a cloud service with several backends sharing one
+// submission queue: whenever a backend becomes idle it pulls the next
+// batch (per the policy) from the jobs that have arrived. Devices must
+// have distinct names. Returns aggregate metrics plus each backend's
+// batch trace.
+func RunFleet(devices []*arch.Device, jobs []Job, cfg Config) (*FleetMetrics, map[string][]BatchRecord, error) {
+	if len(devices) == 0 {
+		return nil, nil, fmt.Errorf("cloudsim: fleet needs at least one device")
+	}
+	seen := map[string]bool{}
+	for _, d := range devices {
+		if seen[d.Name] {
+			return nil, nil, fmt.Errorf("cloudsim: duplicate device name %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+	if len(jobs) == 0 {
+		return &FleetMetrics{PerDevice: map[string]int{}}, map[string][]BatchRecord{}, nil
+	}
+	if cfg.Shots <= 0 {
+		return nil, nil, fmt.Errorf("cloudsim: shots must be positive")
+	}
+
+	queue := append([]Job(nil), jobs...)
+	sort.SliceStable(queue, func(i, j int) bool { return queue[i].Arrival < queue[j].Arrival })
+
+	type backend struct {
+		dev      *arch.Device
+		comp     *core.Compiler
+		freeAt   float64
+		finished int
+	}
+	backends := make([]*backend, len(devices))
+	for i, d := range devices {
+		comp := core.NewCompiler(d)
+		comp.Attempts = 1
+		backends[i] = &backend{dev: d, comp: comp}
+	}
+
+	traces := map[string][]BatchRecord{}
+	var (
+		waitSum, turnSum float64
+		busyQS           float64
+		makespan         float64
+		batches          int
+	)
+	for len(queue) > 0 {
+		// The next backend to act is the one free earliest; it cannot
+		// start before the head job arrives.
+		b := backends[0]
+		for _, cand := range backends[1:] {
+			if cand.freeAt < b.freeAt {
+				b = cand
+			}
+		}
+		now := b.freeAt
+		if queue[0].Arrival > now {
+			now = queue[0].Arrival
+		}
+		avail := 0
+		for avail < len(queue) && queue[avail].Arrival <= now {
+			avail++
+		}
+		batchJobs := pickBatch(b.dev, queue[:avail], cfg)
+		progs := make([]*circuit.Circuit, len(batchJobs))
+		ids := make([]int, len(batchJobs))
+		for i, j := range batchJobs {
+			progs[i] = j.Circ
+			ids[i] = j.ID
+		}
+		strat := core.CDAPXSwap
+		if len(progs) == 1 {
+			strat = core.Separate
+		}
+		res, err := b.comp.Compile(progs, strat)
+		if err != nil {
+			strat = core.Separate
+			batchJobs = batchJobs[:1]
+			progs = progs[:1]
+			ids = ids[:1]
+			res, err = b.comp.Compile(progs, strat)
+			if err != nil {
+				return nil, nil, fmt.Errorf("cloudsim: job %d unschedulable on %s: %w", ids[0], b.dev.Name, err)
+			}
+		}
+		service := cfg.CompileSeconds +
+			float64(cfg.Shots)*(cfg.ShotOverheadSeconds+float64(res.Depth)*cfg.LayerSeconds)
+		finish := now + service
+		qubits := 0
+		for _, p := range progs {
+			qubits += p.NumQubits
+		}
+		traces[b.dev.Name] = append(traces[b.dev.Name], BatchRecord{
+			JobIDs:     ids,
+			Start:      now,
+			Finish:     finish,
+			Depth:      res.Depth,
+			CNOTs:      res.CNOTs,
+			Strategy:   strat,
+			QubitsUsed: qubits,
+		})
+		for _, j := range batchJobs {
+			waitSum += now - j.Arrival
+			turnSum += finish - j.Arrival
+		}
+		busyQS += float64(qubits) * service
+		b.freeAt = finish
+		b.finished += len(ids)
+		batches++
+		if finish > makespan {
+			makespan = finish
+		}
+
+		inBatch := map[int]bool{}
+		for _, id := range ids {
+			inBatch[id] = true
+		}
+		var rest []Job
+		for _, j := range queue {
+			if !inBatch[j.ID] {
+				rest = append(rest, j)
+			}
+		}
+		queue = rest
+	}
+
+	m := &FleetMetrics{
+		Metrics: Metrics{
+			Makespan:      makespan,
+			AvgWait:       waitSum / float64(len(jobs)),
+			AvgTurnaround: turnSum / float64(len(jobs)),
+			Batches:       batches,
+			TRF:           float64(len(jobs)) / float64(batches),
+		},
+		PerDevice: map[string]int{},
+	}
+	totalQubits := 0
+	for _, b := range backends {
+		m.PerDevice[b.dev.Name] = b.finished
+		totalQubits += b.dev.NumQubits()
+	}
+	if makespan > 0 {
+		m.ThroughputPerHour = float64(len(jobs)) / makespan * 3600
+		m.QubitUtilization = busyQS / (float64(totalQubits) * makespan)
+	}
+	return m, traces, nil
+}

@@ -1,0 +1,393 @@
+// Package core implements the QuCloud compiler pipeline — the paper's
+// primary contribution. It ties the CDAP partitioner, the X-SWAP
+// router, and the fidelity simulator together behind the six
+// compilation strategies the paper evaluates: Separate, SABRE,
+// Baseline (FRP + noise-aware SABRE), CDAP+X-SWAP, CDAP-only, and
+// X-SWAP-only. The root qucloud package re-exports this API.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/community"
+	"repro/internal/partition"
+	"repro/internal/router"
+	"repro/internal/sim"
+)
+
+// Strategy selects a compilation policy for a multi-program workload.
+type Strategy int
+
+// The six strategies of the paper's evaluation.
+const (
+	// Separate compiles and runs each program alone on the whole chip
+	// (the no-multi-programming upper bound for fidelity).
+	Separate Strategy = iota
+	// SABRE merges all programs into one circuit and compiles it with
+	// plain (noise-unaware) SABRE: reverse-traversal initial mapping
+	// plus heuristic SWAP search.
+	SABRE
+	// Baseline is the multi-programming baseline of Das et al.: FRP
+	// partitioning plus noise-aware SABRE with intra-program SWAPs.
+	Baseline
+	// CDAPXSwap is QuCloud: CDAP partitioning plus X-SWAP routing.
+	CDAPXSwap
+	// CDAPOnly ablates X-SWAP: CDAP partitioning with SABRE's plain
+	// transition (intra-program SWAPs only).
+	CDAPOnly
+	// XSwapOnly ablates CDAP: SABRE's initial mapping (on the merged
+	// circuit) with X-SWAP routing.
+	XSwapOnly
+)
+
+// Strategies lists all strategies in the paper's table order.
+var Strategies = []Strategy{Separate, SABRE, Baseline, CDAPXSwap, CDAPOnly, XSwapOnly}
+
+func (s Strategy) String() string {
+	switch s {
+	case Separate:
+		return "Separate"
+	case SABRE:
+		return "SABRE"
+	case Baseline:
+		return "Baseline"
+	case CDAPXSwap:
+		return "CDAP+X-SWAP"
+	case CDAPOnly:
+		return "CDAP-only"
+	case XSwapOnly:
+		return "X-SWAP-only"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Compiler compiles multi-program workloads onto a device.
+type Compiler struct {
+	// Device is the target chip.
+	Device *arch.Device
+	// Omega is the CDAP reward weight (use the knee value for the
+	// chip; 0.95 for IBMQ16, 0.40 for IBMQ50).
+	Omega float64
+	// Attempts is the number of seeds tried per compilation; the
+	// schedule with the fewest post-compilation CNOTs wins (the
+	// paper reports the best of 5).
+	Attempts int
+	// Traversals is the number of SABRE reverse-traversal rounds used
+	// to refine merged-circuit initial mappings.
+	Traversals int
+	// NoisePenalty is the noise-aware SWAP-cost weight used by the
+	// Separate and Baseline strategies.
+	NoisePenalty float64
+	// PreOptimize runs the peephole optimizer (self-inverse
+	// cancellation, rotation fusion) on every source program before
+	// mapping, as a high-optimization-level toolchain would.
+	PreOptimize bool
+	// Bridge lets the router execute one-off distance-2 CNOTs as
+	// 4-CNOT bridges instead of SWAPs (extension; off by default to
+	// match the paper's SWAP-only accounting).
+	Bridge bool
+
+	tree *community.Tree // cached hierarchy tree for the calibration
+}
+
+// NewCompiler returns a Compiler with the paper's defaults for the
+// device (ω = 0.95 for chips up to 20 qubits, 0.40 above).
+func NewCompiler(d *arch.Device) *Compiler {
+	omega := 0.95
+	if d.NumQubits() > 20 {
+		omega = 0.40
+	}
+	return &Compiler{
+		Device:       d,
+		Omega:        omega,
+		Attempts:     5,
+		Traversals:   3,
+		NoisePenalty: 2,
+	}
+}
+
+// Tree returns the CDAP hierarchy tree for the current calibration,
+// building it on first use (the paper builds it once per calibration
+// cycle and reuses it).
+func (c *Compiler) Tree() *community.Tree {
+	if c.tree == nil {
+		c.tree = community.Build(c.Device, c.Omega)
+	}
+	return c.tree
+}
+
+// InvalidateTree drops the cached hierarchy tree; call after changing
+// the device's calibration data.
+func (c *Compiler) InvalidateTree() { c.tree = nil }
+
+// Result is a compiled workload.
+type Result struct {
+	Strategy Strategy
+	// Programs are the source programs, in the caller's order.
+	Programs []*circuit.Circuit
+	// Schedules holds one joint schedule for co-located strategies, or
+	// one schedule per program for Separate.
+	Schedules []*router.Schedule
+	// Initial holds the initial mappings matching Schedules: for
+	// co-located strategies Initial[0][p] is program p's mapping; for
+	// Separate, Initial[i] holds only program i's mapping.
+	Initial [][][]int
+	// CNOTs and Depth are the post-compilation totals (SWAP = 3 CNOTs;
+	// for Separate they sum/max over the per-program schedules).
+	CNOTs int
+	Depth int
+	// Swaps and InterSwaps total the inserted SWAPs.
+	Swaps      int
+	InterSwaps int
+}
+
+// Compile compiles the workload under the given strategy, trying
+// c.Attempts seeds and keeping the schedule with the fewest
+// post-compilation CNOTs.
+func (c *Compiler) Compile(progs []*circuit.Circuit, strat Strategy) (*Result, error) {
+	if len(progs) == 0 {
+		return nil, errors.New("qucloud: empty workload")
+	}
+	if c.PreOptimize {
+		opt := make([]*circuit.Circuit, len(progs))
+		for i, p := range progs {
+			opt[i] = circuit.Optimize(p)
+		}
+		progs = opt
+	}
+	attempts := c.Attempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	var best *Result
+	var lastErr error
+	for seed := int64(1); seed <= int64(attempts); seed++ {
+		res, err := c.compileOnce(progs, strat, seed)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if best == nil || res.CNOTs < best.CNOTs {
+			best = res
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("qucloud: %s compilation failed: %w", strat, lastErr)
+	}
+	return best, nil
+}
+
+func (c *Compiler) compileOnce(progs []*circuit.Circuit, strat Strategy, seed int64) (*Result, error) {
+	switch strat {
+	case Separate:
+		return c.compileSeparate(progs, seed)
+	case SABRE:
+		return c.compileMergedSABRE(progs, seed, false)
+	case XSwapOnly:
+		return c.compileMergedSABRE(progs, seed, true)
+	case Baseline:
+		res, err := partition.FRP(c.Device, progs)
+		if err != nil {
+			return nil, err
+		}
+		opts := router.DefaultOptions()
+		opts.NoisePenalty = c.NoisePenalty
+		opts.UseBridge = c.Bridge
+		opts.Seed = seed
+		return c.routeJoint(progs, res, opts, Baseline)
+	case CDAPOnly:
+		res, err := partition.CDAP(c.Device, c.Tree(), progs)
+		if err != nil {
+			return nil, err
+		}
+		// Same noise-aware transition as the baseline, so the ablation
+		// isolates the initial-mapping contribution.
+		opts := router.DefaultOptions()
+		opts.NoisePenalty = c.NoisePenalty
+		opts.UseBridge = c.Bridge
+		opts.Seed = seed
+		return c.routeJoint(progs, res, opts, CDAPOnly)
+	case CDAPXSwap:
+		res, err := partition.CDAP(c.Device, c.Tree(), progs)
+		if err != nil {
+			return nil, err
+		}
+		opts := router.XSWAPOptions()
+		opts.NoisePenalty = c.NoisePenalty
+		opts.UseBridge = c.Bridge
+		opts.Seed = seed
+		return c.routeJoint(progs, res, opts, CDAPXSwap)
+	}
+	return nil, fmt.Errorf("qucloud: unknown strategy %v", strat)
+}
+
+// compileSeparate compiles each program alone: CDAP's single-program
+// allocation (most reliable region) plus noise-aware routing.
+func (c *Compiler) compileSeparate(progs []*circuit.Circuit, seed int64) (*Result, error) {
+	out := &Result{Strategy: Separate, Programs: progs}
+	for _, p := range progs {
+		res, err := partition.CDAP(c.Device, c.Tree(), []*circuit.Circuit{p})
+		if err != nil {
+			return nil, err
+		}
+		opts := router.DefaultOptions()
+		opts.NoisePenalty = c.NoisePenalty
+		opts.UseBridge = c.Bridge
+		opts.Seed = seed
+		mapping, err := router.ReverseTraversal(c.Device, p, res.Assignments[0].InitialMapping, c.Traversals, opts)
+		if err != nil {
+			return nil, err
+		}
+		s, err := router.RouteSingle(c.Device, p, mapping, opts)
+		if err != nil {
+			return nil, err
+		}
+		out.Schedules = append(out.Schedules, s)
+		out.Initial = append(out.Initial, [][]int{mapping})
+		out.CNOTs += s.CNOTCount()
+		out.Swaps += s.SwapCount
+		if d := s.Depth(); d > out.Depth {
+			out.Depth = d
+		}
+	}
+	return out, nil
+}
+
+// compileMergedSABRE implements the SABRE and X-SWAP-only strategies:
+// the programs are merged into one circuit, SABRE's reverse traversal
+// produces the initial mapping, and the workload is routed jointly —
+// without (SABRE) or with (X-SWAP-only) the X-SWAP scheme.
+func (c *Compiler) compileMergedSABRE(progs []*circuit.Circuit, seed int64, xswap bool) (*Result, error) {
+	total := 0
+	offsets := make([]int, len(progs))
+	for i, p := range progs {
+		offsets[i] = total
+		total += p.NumQubits
+	}
+	if total > c.Device.NumQubits() {
+		return nil, fmt.Errorf("qucloud: workload needs %d qubits, chip has %d", total, c.Device.NumQubits())
+	}
+	merged := circuit.New("merged", total)
+	for i, p := range progs {
+		merged.Compose(p, offsets[i])
+	}
+	opts := router.DefaultOptions()
+	opts.Seed = seed
+	start := router.RandomInitialMapping(c.Device, merged, seed*7919+13)
+	mapping, err := router.ReverseTraversal(c.Device, merged, start, c.Traversals, opts)
+	if err != nil {
+		return nil, err
+	}
+	initial := make([][]int, len(progs))
+	for i, p := range progs {
+		initial[i] = mapping[offsets[i] : offsets[i]+p.NumQubits]
+	}
+	ropts := router.DefaultOptions()
+	ropts.Seed = seed
+	ropts.InterProgram = true // merged compilation has no program walls
+	if xswap {
+		ropts = router.XSWAPOptions()
+		ropts.Seed = seed
+	}
+	ropts.UseBridge = c.Bridge
+	strat := SABRE
+	if xswap {
+		strat = XSwapOnly
+	}
+	return c.routeJointMappings(progs, initial, ropts, strat)
+}
+
+func (c *Compiler) routeJoint(progs []*circuit.Circuit, res *partition.Result, opts router.Options, strat Strategy) (*Result, error) {
+	initial := make([][]int, len(progs))
+	for i, a := range res.Assignments {
+		initial[i] = a.InitialMapping
+	}
+	// Refine the partitioner's GWEF mapping with joint reverse
+	// traversal under the same SWAP policy that will route the final
+	// pass (Das et al.'s baseline inherits SABRE's traversal too).
+	if c.Traversals > 0 {
+		refined, err := router.ReverseTraversalMulti(c.Device, progs, initial, c.Traversals, opts)
+		if err == nil {
+			initial = refined
+		}
+	}
+	return c.routeJointMappings(progs, initial, opts, strat)
+}
+
+func (c *Compiler) routeJointMappings(progs []*circuit.Circuit, initial [][]int, opts router.Options, strat Strategy) (*Result, error) {
+	s, err := router.Route(c.Device, progs, initial, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Strategy:   strat,
+		Programs:   progs,
+		Schedules:  []*router.Schedule{s},
+		Initial:    [][][]int{initial},
+		CNOTs:      s.CNOTCount(),
+		Depth:      s.Depth(),
+		Swaps:      s.SwapCount,
+		InterSwaps: s.InterSwapCount,
+	}, nil
+}
+
+// Simulate estimates per-program PSTs for the compiled result by Monte
+// Carlo simulation with the given trial count and noise model. For the
+// Separate strategy each program runs alone; for co-located strategies
+// the joint schedule runs once with all programs sharing the chip.
+func (c *Compiler) Simulate(r *Result, trials int, seed int64, noise sim.NoiseModel) ([]float64, error) {
+	if r.Strategy == Separate {
+		psts := make([]float64, len(r.Programs))
+		for i, p := range r.Programs {
+			out, err := sim.SimulateSchedule(c.Device, r.Schedules[i], []*circuit.Circuit{p}, trials, seed+int64(i), noise)
+			if err != nil {
+				return nil, err
+			}
+			psts[i] = out.PST[0]
+		}
+		return psts, nil
+	}
+	out, err := sim.SimulateSchedule(c.Device, r.Schedules[0], r.Programs, trials, seed, noise)
+	if err != nil {
+		return nil, err
+	}
+	return out.PST, nil
+}
+
+// Validate checks the result's schedules against the source programs.
+func (r *Result) Validate() error {
+	if r.Strategy == Separate {
+		for i, s := range r.Schedules {
+			if err := s.Validate([]*circuit.Circuit{r.Programs[i]}, r.Initial[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return r.Schedules[0].Validate(r.Programs, r.Initial[0])
+}
+
+// SimulateClifford is Simulate with the stabilizer-tableau backend: it
+// supports any chip size (including the 50-qubit device) but requires
+// every program to be a Clifford circuit.
+func (c *Compiler) SimulateClifford(r *Result, trials int, seed int64, noise sim.NoiseModel) ([]float64, error) {
+	if r.Strategy == Separate {
+		psts := make([]float64, len(r.Programs))
+		for i, p := range r.Programs {
+			out, err := sim.SimulateScheduleClifford(c.Device, r.Schedules[i], []*circuit.Circuit{p}, trials, seed+int64(i), noise)
+			if err != nil {
+				return nil, err
+			}
+			psts[i] = out.PST[0]
+		}
+		return psts, nil
+	}
+	out, err := sim.SimulateScheduleClifford(c.Device, r.Schedules[0], r.Programs, trials, seed, noise)
+	if err != nil {
+		return nil, err
+	}
+	return out.PST, nil
+}

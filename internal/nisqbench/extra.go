@@ -1,0 +1,160 @@
+package nisqbench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// Extra is the size class of benchmarks beyond the paper's Table I:
+// common NISQ kernels (GHZ, W state, adders, Grover, Deutsch-Jozsa,
+// QAOA) useful for exercising the mapper on different interaction
+// structures.
+const Extra SizeClass = 3
+
+func init() {
+	add := func(name string, build func() *circuit.Circuit) {
+		registry[name] = Spec{Name: name, Class: Extra, Build: build}
+	}
+	add("ghz_n4", func() *circuit.Circuit { return GHZ(4) })
+	add("ghz_n8", func() *circuit.Circuit { return GHZ(8) })
+	add("wstate_n3", func() *circuit.Circuit { return WState(3) })
+	add("adder_n4", Adder4)
+	add("grover_n2", Grover2)
+	add("dj_n4", func() *circuit.Circuit { return DeutschJozsa(4) })
+	add("qaoa_n6", func() *circuit.Circuit { return QAOAMaxCutRing(6, 2) })
+}
+
+// GHZ returns the n-qubit GHZ-state preparation circuit: H on qubit 0
+// followed by a CNOT chain. Its ideal output is an even mixture of
+// all-zeros and all-ones; the modal-outcome convention makes all-zeros
+// the PST target.
+func GHZ(n int) *circuit.Circuit {
+	if n < 2 {
+		panic("nisqbench: GHZ needs >= 2 qubits")
+	}
+	c := circuit.New(fmt.Sprintf("ghz_n%d", n), n)
+	c.H(0)
+	for q := 0; q+1 < n; q++ {
+		c.CX(q, q+1)
+	}
+	return c.MeasureAll()
+}
+
+// WState returns the 3-qubit W-state preparation
+// (|100>+|010>+|001>)/sqrt(3) using controlled rotations decomposed
+// into ry and CNOTs.
+func WState(n int) *circuit.Circuit {
+	if n != 3 {
+		panic("nisqbench: WState implemented for 3 qubits")
+	}
+	c := circuit.New("wstate_n3", 3)
+	// ry(theta0) puts amplitude sqrt(1/3) on |1> of qubit 0.
+	theta0 := 2 * math.Acos(math.Sqrt(1.0/3.0))
+	c.RY(theta0, 0)
+	// Controlled-H-like rotation on qubit 1 conditioned on qubit 0
+	// being |0>: implemented with x-sandwiched controlled-ry.
+	c.X(0)
+	appendCRY(c, math.Pi/2, 0, 1)
+	c.X(0)
+	// Spread from qubit 1 to qubit 2 conditioned on both being 0.
+	c.X(0)
+	c.X(1)
+	appendCCX(c, 0, 1, 2)
+	c.X(0)
+	c.X(1)
+	return c.MeasureAll()
+}
+
+// appendCRY appends a controlled-RY(theta) via two CNOTs.
+func appendCRY(c *circuit.Circuit, theta float64, control, target int) {
+	c.RY(theta/2, target)
+	c.CX(control, target)
+	c.RY(-theta/2, target)
+	c.CX(control, target)
+}
+
+// appendCCX appends a decomposed Toffoli.
+func appendCCX(c *circuit.Circuit, a, b, t int) { circuit.AppendToffoli(c, a, b, t) }
+
+// Adder4 returns a 4-qubit ripple 1-bit full adder (QASMBench's
+// adder_n4 shape): inputs a=1, b=1, cin=0 -> sum=0, cout=1.
+func Adder4() *circuit.Circuit {
+	c := circuit.New("adder_n4", 4)
+	// qubits: 0=a, 1=b, 2=sum/cin, 3=cout
+	c.X(0)
+	c.X(1)
+	circuit.AppendToffoli(c, 0, 1, 3) // carry
+	c.CX(0, 1)
+	circuit.AppendToffoli(c, 1, 2, 3) // carry propagate
+	c.CX(1, 2)                        // sum
+	c.CX(0, 1)                        // restore b
+	return c.MeasureAll()
+}
+
+// Grover2 returns a 2-qubit Grover search marking |11> (one iteration
+// suffices at n=2: the output is deterministically |11>).
+func Grover2() *circuit.Circuit {
+	c := circuit.New("grover_n2", 2)
+	c.H(0).H(1)
+	// Oracle: flip phase of |11> = CZ.
+	c.CZ(0, 1)
+	// Diffusion: H X cz X H on both qubits.
+	c.H(0).H(1)
+	c.X(0).X(1)
+	c.CZ(0, 1)
+	c.X(0).X(1)
+	c.H(0).H(1)
+	return c.MeasureAll()
+}
+
+// DeutschJozsa returns an n-qubit Deutsch-Jozsa circuit for a balanced
+// oracle f(x) = x_0 XOR ... (parity of the first n-1 bits): the data
+// qubits deterministically read all ones.
+func DeutschJozsa(n int) *circuit.Circuit {
+	if n < 2 {
+		panic("nisqbench: DJ needs >= 2 qubits")
+	}
+	c := circuit.New(fmt.Sprintf("dj_n%d", n), n)
+	anc := n - 1
+	c.X(anc)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for q := 0; q < n-1; q++ {
+		c.CX(q, anc) // balanced parity oracle
+	}
+	for q := 0; q < n-1; q++ {
+		c.H(q)
+	}
+	c.H(anc)
+	c.X(anc)
+	return c.MeasureAll()
+}
+
+// QAOAMaxCutRing returns a p-layer QAOA MaxCut ansatz on an n-vertex
+// ring graph with fixed angles; each ZZ term costs two CNOTs. It
+// exercises the mapper with ring-structured interactions.
+func QAOAMaxCutRing(n, p int) *circuit.Circuit {
+	if n < 3 || p < 1 {
+		panic("nisqbench: QAOA needs n >= 3 and p >= 1")
+	}
+	c := circuit.New(fmt.Sprintf("qaoa_n%d", n), n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	gamma, beta := 0.7, 0.4
+	for layer := 0; layer < p; layer++ {
+		for q := 0; q < n; q++ {
+			u, v := q, (q+1)%n
+			c.CX(u, v)
+			c.RZ(gamma, v)
+			c.CX(u, v)
+		}
+		for q := 0; q < n; q++ {
+			c.RX(2*beta, q)
+		}
+	}
+	return c.MeasureAll()
+}

@@ -1,0 +1,203 @@
+// Package quos prototypes the adaptive runtime the paper's QuOS vision
+// sketches (§II-E, §III): a feedback controller around the EPST
+// scheduler. The static scheduler trusts its estimated fidelity; QuOS
+// additionally observes each batch's *achieved* fidelity and adapts the
+// co-location threshold epsilon on-the-fly — tightening it after
+// fidelity regressions (reverting toward separate execution, which the
+// paper notes static systems cannot do) and relaxing it when
+// multi-programming proves harmless.
+package quos
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Config tunes the adaptive controller.
+type Config struct {
+	// InitialEpsilon seeds the co-location threshold.
+	InitialEpsilon float64
+	// MinEpsilon and MaxEpsilon bound the adaptation.
+	MinEpsilon, MaxEpsilon float64
+	// Target is the tolerated achieved-fidelity loss per batch:
+	// observed PST may fall below the separate-execution estimate by
+	// this fraction before the controller reacts.
+	Target float64
+	// Step is the multiplicative adaptation: epsilon /= (1+Step) on
+	// violation, *= (1+Step/2) on success (asymmetric, like congestion
+	// control: back off fast, probe slowly).
+	Step float64
+	// Trials is the Monte-Carlo budget per batch observation.
+	Trials int
+	// Lookahead and MaxColocate pass through to the scheduler.
+	Lookahead   int
+	MaxColocate int
+}
+
+// DefaultConfig returns a controller with congestion-control-style
+// dynamics around the paper's ε = 0.15 operating point.
+func DefaultConfig() Config {
+	return Config{
+		InitialEpsilon: 0.15,
+		MinEpsilon:     0.01,
+		MaxEpsilon:     0.5,
+		Target:         0.12,
+		Step:           0.5,
+		Trials:         400,
+		Lookahead:      10,
+		MaxColocate:    3,
+	}
+}
+
+// BatchReport records one executed batch and the controller state.
+type BatchReport struct {
+	JobIDs []int
+	// AvgPST is the observed batch fidelity (0..1); SeparateEstimate
+	// is the EPST-based expectation had the jobs run alone.
+	AvgPST           float64
+	SeparateEstimate float64
+	// EpsilonAfter is the threshold after adaptation.
+	EpsilonAfter float64
+	Violated     bool
+}
+
+// Result is the full adaptive run.
+type Result struct {
+	Reports []BatchReport
+	// AvgPST is the mean observed fidelity over all jobs; TRF the
+	// throughput gain.
+	AvgPST float64
+	TRF    float64
+	// FinalEpsilon is the threshold the controller converged to.
+	FinalEpsilon float64
+}
+
+// Run processes the queue adaptively: schedule the next batch with the
+// current epsilon, compile and "execute" it (Monte-Carlo simulation
+// stands in for hardware), compare the observed fidelity against the
+// separate-execution expectation, and adapt epsilon.
+func Run(d *arch.Device, jobs []sched.Job, cfg Config, seed int64) (*Result, error) {
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("quos: trials must be positive")
+	}
+	if len(jobs) == 0 {
+		return &Result{FinalEpsilon: cfg.InitialEpsilon}, nil
+	}
+	eps := cfg.InitialEpsilon
+	queue := append([]sched.Job(nil), jobs...)
+	comp := core.NewCompiler(d)
+	comp.Attempts = 2
+	noise := sim.DefaultNoise()
+
+	var (
+		reports  []BatchReport
+		pstSum   float64
+		pstCount int
+	)
+	for len(queue) > 0 {
+		scfg := sched.DefaultConfig()
+		scfg.Epsilon = eps
+		scfg.Lookahead = cfg.Lookahead
+		scfg.MaxColocate = cfg.MaxColocate
+		if d.NumQubits() > 20 {
+			scfg.Omega = 0.40
+		}
+		batches, err := sched.Schedule(d, queue, scfg)
+		if err != nil {
+			return nil, fmt.Errorf("quos: %w", err)
+		}
+		batch := batches[0]
+		byID := map[int]*circuit.Circuit{}
+		for _, j := range queue {
+			byID[j.ID] = j.Circ
+		}
+		progs := make([]*circuit.Circuit, len(batch.JobIDs))
+		for i, id := range batch.JobIDs {
+			progs[i] = byID[id]
+		}
+		strat := core.CDAPXSwap
+		if len(progs) == 1 {
+			strat = core.Separate
+		}
+		res, err := comp.Compile(progs, strat)
+		if err != nil {
+			res, err = comp.Compile(progs, core.Separate)
+			if err != nil {
+				return nil, fmt.Errorf("quos: job %d unschedulable: %w", batch.JobIDs[0], err)
+			}
+		}
+		psts, err := comp.Simulate(res, cfg.Trials, seed+int64(len(reports)), noise)
+		if err != nil {
+			return nil, err
+		}
+		avg := 0.0
+		for _, p := range psts {
+			avg += p
+			pstSum += p
+			pstCount++
+		}
+		avg /= float64(len(psts))
+
+		// Expectation if the jobs had run alone: their separate PSTs
+		// estimated analytically from a separate compilation's ESP.
+		sepRes, err := comp.Compile(progs, core.Separate)
+		if err != nil {
+			return nil, err
+		}
+		sepEst := 0.0
+		for i := range progs {
+			esp, err := sim.AnalyticESP(d, sepRes.Schedules[i], 1, noise.IdleErrPerLayer)
+			if err != nil {
+				return nil, err
+			}
+			sepEst += esp.PerProgram[0]
+		}
+		sepEst /= float64(len(progs))
+
+		violated := len(progs) > 1 && avg < sepEst*(1-cfg.Target)
+		if violated {
+			eps /= 1 + cfg.Step
+			if eps < cfg.MinEpsilon {
+				eps = cfg.MinEpsilon
+			}
+		} else if len(progs) > 1 {
+			eps *= 1 + cfg.Step/2
+			if eps > cfg.MaxEpsilon {
+				eps = cfg.MaxEpsilon
+			}
+		}
+		reports = append(reports, BatchReport{
+			JobIDs:           batch.JobIDs,
+			AvgPST:           avg,
+			SeparateEstimate: sepEst,
+			EpsilonAfter:     eps,
+			Violated:         violated,
+		})
+
+		inBatch := map[int]bool{}
+		for _, id := range batch.JobIDs {
+			inBatch[id] = true
+		}
+		var rest []sched.Job
+		for _, j := range queue {
+			if !inBatch[j.ID] {
+				rest = append(rest, j)
+			}
+		}
+		queue = rest
+	}
+	out := &Result{
+		Reports:      reports,
+		FinalEpsilon: eps,
+		TRF:          float64(len(jobs)) / float64(len(reports)),
+	}
+	if pstCount > 0 {
+		out.AvgPST = pstSum / float64(pstCount)
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package router
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+)
+
+func bridgeOpts() Options {
+	o := DefaultOptions()
+	o.UseBridge = true
+	return o
+}
+
+func TestBridgeUsedForDistance2SingleUse(t *testing.T) {
+	// cx between ends of a 3-qubit path, used once: bridge, not swap.
+	d := arch.Linear(3, 0.02, 0.02)
+	p := circuit.New("p", 2)
+	p.CX(0, 1).MeasureAll()
+	s := routeAndCheck(t, d, []*circuit.Circuit{p}, [][]int{{0, 2}}, bridgeOpts())
+	if s.BridgeCount != 1 {
+		t.Fatalf("bridges = %d, want 1", s.BridgeCount)
+	}
+	if s.SwapCount != 0 {
+		t.Fatalf("swaps = %d, want 0", s.SwapCount)
+	}
+	// 4 CNOTs from the bridge, vs 3 (swap) + 1 (cx) without it.
+	if got := s.CNOTCount(); got != 4 {
+		t.Fatalf("CNOTs = %d, want 4", got)
+	}
+	// The mapping must be unchanged.
+	if s.FinalMapping[0][0] != 0 || s.FinalMapping[0][1] != 2 {
+		t.Fatalf("bridge must not move qubits: %v", s.FinalMapping[0])
+	}
+}
+
+func TestBridgeSkippedForRecurringPair(t *testing.T) {
+	// The same pair interacts repeatedly: SWAPping is better, and the
+	// recurrence check must block the bridge.
+	d := arch.Linear(3, 0.02, 0.02)
+	p := circuit.New("p", 2)
+	p.CX(0, 1).CX(0, 1).CX(0, 1).MeasureAll()
+	s := routeAndCheck(t, d, []*circuit.Circuit{p}, [][]int{{0, 2}}, bridgeOpts())
+	if s.BridgeCount != 0 {
+		t.Fatalf("bridges = %d, want 0 for a recurring pair", s.BridgeCount)
+	}
+	if s.SwapCount == 0 {
+		t.Fatal("expected a swap for the recurring pair")
+	}
+}
+
+func TestBridgeMiddleRespectsOwnershipIntraMode(t *testing.T) {
+	// 2x2 grid (edges 0-1, 0-2, 1-3, 2-3): p1's cx sits on the diagonal
+	// 0..3; middle candidates are 1 (owned by p2) and 2 (free). Make
+	// qubit 2's links worse so ownership, not reliability, decides.
+	d := arch.Grid(2, 2, 0.02, 0.02)
+	for _, e := range d.Coupling.Edges() {
+		if e.U == 2 || e.V == 2 {
+			d.CNOTErr[e] = 0.06
+		}
+	}
+	p1 := circuit.New("p1", 2)
+	p1.CX(0, 1)
+	p2 := circuit.New("p2", 1)
+	p2.H(0)
+	s := routeAndCheck(t, d, []*circuit.Circuit{p1, p2}, [][]int{{0, 3}, {1}}, bridgeOpts())
+	if s.BridgeCount != 1 {
+		t.Fatalf("bridges = %d, want 1", s.BridgeCount)
+	}
+	for _, op := range s.Ops {
+		if op.BridgePart > 0 {
+			for _, q := range op.Gate.Qubits {
+				if q == 1 {
+					t.Fatal("intra-mode bridge crossed p2's qubit")
+				}
+			}
+		}
+	}
+	// With inter-program routing the better middle (p2's qubit 1)
+	// becomes legal and wins on reliability.
+	o := bridgeOpts()
+	o.InterProgram = true
+	s2 := routeAndCheck(t, d, []*circuit.Circuit{p1, p2}, [][]int{{0, 3}, {1}}, o)
+	if s2.BridgeCount != 1 {
+		t.Fatalf("inter-program bridge count = %d, want 1", s2.BridgeCount)
+	}
+	used1 := false
+	for _, op := range s2.Ops {
+		if op.BridgePart > 0 && (op.Gate.Qubits[0] == 1 || op.Gate.Qubits[1] == 1) {
+			used1 = true
+		}
+	}
+	if !used1 {
+		t.Fatal("inter-program bridge should use the more reliable middle")
+	}
+}
+
+func TestBridgePicksReliableMiddle(t *testing.T) {
+	// 2x2 grid: cx between diagonal corners 0 and 3; middles 1 and 2.
+	// Make qubit 1's links terrible: the bridge must go through 2.
+	d := arch.Grid(2, 2, 0.02, 0.02)
+	for _, e := range d.Coupling.Edges() {
+		if e.U == 1 || e.V == 1 {
+			d.CNOTErr[e] = 0.3
+		}
+	}
+	p := circuit.New("p", 2)
+	p.CX(0, 1)
+	s := routeAndCheck(t, d, []*circuit.Circuit{p}, [][]int{{0, 3}}, bridgeOpts())
+	if s.BridgeCount != 1 {
+		t.Fatalf("bridges = %d", s.BridgeCount)
+	}
+	for _, op := range s.Ops {
+		if op.BridgePart > 0 {
+			for _, q := range op.Gate.Qubits {
+				if q == 1 {
+					t.Fatal("bridge routed through the unreliable middle")
+				}
+			}
+		}
+	}
+}
+
+func TestBridgeValidateRejectsReorderedParts(t *testing.T) {
+	d := arch.Linear(3, 0.02, 0.02)
+	p := circuit.New("p", 2)
+	p.CX(0, 1)
+	s := routeAndCheck(t, d, []*circuit.Circuit{p}, [][]int{{0, 2}}, bridgeOpts())
+	// Swap parts 1 and 2.
+	var idx []int
+	for i, op := range s.Ops {
+		if op.BridgePart > 0 {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) != 4 {
+		t.Fatalf("bridge ops = %d", len(idx))
+	}
+	s.Ops[idx[0]], s.Ops[idx[1]] = s.Ops[idx[1]], s.Ops[idx[0]]
+	if err := s.Validate([]*circuit.Circuit{p}, [][]int{{0, 2}}); err == nil {
+		t.Fatal("Validate must reject out-of-order bridge parts")
+	}
+}

@@ -1,0 +1,150 @@
+package router
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+)
+
+// optimalSwaps finds the true minimum SWAP count to execute the 2-qubit
+// gate sequence on the device from the initial mapping, by BFS over
+// (mapping, gates-done) states. Exponential — tiny instances only.
+func optimalSwaps(d *arch.Device, pairs [][2]int, initial []int) int {
+	n := d.NumQubits()
+	type state struct {
+		mapping string // logical -> phys, as bytes
+		done    int
+	}
+	encode := func(m []int) string {
+		b := make([]byte, len(m))
+		for i, v := range m {
+			b[i] = byte(v)
+		}
+		return string(b)
+	}
+	decode := func(s string) []int {
+		m := make([]int, len(s))
+		for i := range s {
+			m[i] = int(s[i])
+		}
+		return m
+	}
+	// advance executes every executable gate prefix.
+	advance := func(m []int, done int) int {
+		for done < len(pairs) {
+			a, b := m[pairs[done][0]], m[pairs[done][1]]
+			if !d.Coupling.HasEdge(a, b) {
+				break
+			}
+			done++
+		}
+		return done
+	}
+	start := state{encode(initial), advance(initial, 0)}
+	if start.done == len(pairs) {
+		return 0
+	}
+	seen := map[state]bool{start: true}
+	frontier := []state{start}
+	for depth := 1; depth <= 12; depth++ {
+		var next []state
+		for _, st := range frontier {
+			m := decode(st.mapping)
+			phys2log := make([]int, n)
+			for i := range phys2log {
+				phys2log[i] = -1
+			}
+			for l, p := range m {
+				phys2log[p] = l
+			}
+			for _, e := range d.Coupling.Edges() {
+				m2 := append([]int(nil), m...)
+				la, lb := phys2log[e.U], phys2log[e.V]
+				if la >= 0 {
+					m2[la] = e.V
+				}
+				if lb >= 0 {
+					m2[lb] = e.U
+				}
+				done := advance(m2, st.done)
+				if done == len(pairs) {
+					return depth
+				}
+				ns := state{encode(m2), done}
+				if !seen[ns] {
+					seen[ns] = true
+					next = append(next, ns)
+				}
+			}
+		}
+		frontier = next
+	}
+	return -1 // not found within bound
+}
+
+// TestRouterNearOptimalOnSmallInstances compares the heuristic router's
+// SWAP count against the exact optimum on random small circuits. The
+// heuristic may lose a little, but large gaps indicate a regression.
+func TestRouterNearOptimalOnSmallInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	devices := []*arch.Device{
+		arch.Linear(4, 0.02, 0.02),
+		arch.Ring(5, 0.02, 0.02),
+		arch.Grid(2, 3, 0.02, 0.02),
+	}
+	totalOpt, totalGot := 0, 0
+	cases := 0
+	for _, d := range devices {
+		for trial := 0; trial < 12; trial++ {
+			nl := 3 + rng.Intn(2) // 3-4 logical qubits
+			if nl > d.NumQubits() {
+				nl = d.NumQubits()
+			}
+			var pairs [][2]int
+			c := circuit.New("t", nl)
+			for g := 0; g < 4+rng.Intn(5); g++ {
+				a := rng.Intn(nl)
+				b := rng.Intn(nl - 1)
+				if b >= a {
+					b++
+				}
+				pairs = append(pairs, [2]int{a, b})
+				c.CX(a, b)
+			}
+			perm := rng.Perm(d.NumQubits())[:nl]
+			opt := optimalSwaps(d, pairs, perm)
+			if opt < 0 {
+				continue // beyond the exhaustive bound; skip
+			}
+			s, err := Route(d, []*circuit.Circuit{c}, [][]int{perm}, DefaultOptions())
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", d.Name, trial, err)
+			}
+			if err := s.Validate([]*circuit.Circuit{c}, [][]int{perm}); err != nil {
+				t.Fatal(err)
+			}
+			if s.SwapCount < opt {
+				t.Fatalf("%s trial %d: router used %d swaps, below proven optimum %d — optimal search is wrong",
+					d.Name, trial, s.SwapCount, opt)
+			}
+			// Per-instance slack: the heuristic may use up to opt+3
+			// extra swaps on adversarial cases.
+			if s.SwapCount > opt+3 {
+				t.Errorf("%s trial %d: router %d swaps vs optimal %d", d.Name, trial, s.SwapCount, opt)
+			}
+			totalOpt += opt
+			totalGot += s.SwapCount
+			cases++
+		}
+	}
+	if cases < 20 {
+		t.Fatalf("only %d cases solved exactly", cases)
+	}
+	// Aggregate: within 60% of optimal total.
+	if float64(totalGot) > 1.6*float64(totalOpt)+3 {
+		t.Fatalf("aggregate swaps %d vs optimal %d: heuristic too far from optimal", totalGot, totalOpt)
+	}
+	t.Logf("router swaps %d vs optimal %d over %d instances", totalGot, totalOpt, cases)
+}

@@ -1,0 +1,976 @@
+// Package router solves the mapping-transition problem: given programs
+// with initial mappings on a chip, it inserts SWAPs until every
+// two-qubit gate is executed on coupled physical qubits. It implements
+// a SABRE-style heuristic search (front layer + extended-set look-ahead
+// + decay), an optional noise-aware SWAP cost (the multi-programming
+// baseline's transition), and the paper's X-SWAP scheme (Algorithm 3):
+// joint routing of all co-located programs with inter-program SWAPs,
+// critical-gate candidate restriction, and the gain/score function of
+// Equations 2-3.
+package router
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+)
+
+// Options tunes the router. The zero value is not useful; start from
+// DefaultOptions.
+type Options struct {
+	// ExtendedSetSize is the look-ahead window |E| (gates).
+	ExtendedSetSize int
+	// ExtendedSetWeight is SABRE's W: the weight of the extended-set
+	// cost relative to the front-layer cost.
+	ExtendedSetWeight float64
+	// DecayFactor discourages ping-ponging the same qubit; each SWAP
+	// bumps its qubits' decay, which multiplies candidate scores.
+	DecayFactor float64
+	// DecayResetInterval resets decay every this many SWAPs.
+	DecayResetInterval int
+	// NoisePenalty adds -NoisePenalty*log(reliability of the SWAP's 3
+	// CNOTs) to each candidate score, making routes prefer reliable
+	// links (the noise-aware baseline). 0 disables it.
+	NoisePenalty float64
+	// InterProgram enables inter-program SWAPs (X-SWAP). When false,
+	// each SWAP must stay within one program's qubits plus free qubits.
+	InterProgram bool
+	// GainTerm enables Equation 3's gain prioritization (SWAPs on the
+	// global shortest path of gates where inter-program routing is
+	// shorter score better). Only meaningful with InterProgram.
+	GainTerm bool
+	// CriticalGatesOnly restricts SWAP candidates to qubits of critical
+	// gates (front gates with second-layer successors), as X-SWAP does.
+	// When no critical gates exist, all front gates are used.
+	CriticalGatesOnly bool
+	// UseBridge executes distance-2 CNOTs as a 4-CNOT bridge (the
+	// middle qubit is restored) instead of SWAPping, when the same
+	// qubit pair does not recur in the look-ahead window. Bridges never
+	// change the mapping; under InterProgram the middle qubit may
+	// belong to another program (it is returned to its state).
+	UseBridge bool
+	// Seed drives random tie-breaking among equal-score candidates
+	// ("best of 5 attempts" in the paper's methodology).
+	Seed int64
+}
+
+// DefaultOptions returns the SABRE-like defaults used by every strategy.
+func DefaultOptions() Options {
+	return Options{
+		ExtendedSetSize:    20,
+		ExtendedSetWeight:  0.5,
+		DecayFactor:        0.001,
+		DecayResetInterval: 5,
+		NoisePenalty:       0,
+		InterProgram:       false,
+		CriticalGatesOnly:  false,
+		Seed:               1,
+	}
+}
+
+// XSWAPOptions returns Algorithm 3's configuration: inter-program SWAPs
+// with critical-gate prioritization on top of the SABRE defaults.
+func XSWAPOptions() Options {
+	o := DefaultOptions()
+	o.InterProgram = true
+	o.GainTerm = true
+	o.CriticalGatesOnly = true
+	return o
+}
+
+// Op is one scheduled operation on physical qubits.
+type Op struct {
+	// Program is the index of the owning program, or -1 for SWAPs
+	// (SWAPs belong to the schedule, not to any single program).
+	Program int
+	// Gate has physical qubit operands.
+	Gate circuit.Gate
+	// IsSwap marks inserted routing SWAPs (not gates from the source).
+	IsSwap bool
+	// InterProgram marks SWAPs whose endpoints belonged to two
+	// different programs when applied.
+	InterProgram bool
+	// GateIndex is the source gate index within its program (-1 for
+	// inserted SWAPs).
+	GateIndex int
+	// TriggerProgram is, for SWAPs, the program whose blocked gate
+	// caused the SWAP (-1 for non-SWAP ops; cost attribution).
+	TriggerProgram int
+	// BridgePart is 1..4 for the CNOTs of a bridged source CNOT
+	// (GateIndex then names the source gate), 0 otherwise.
+	BridgePart int
+}
+
+// Measurement records where a program's logical qubit was measured.
+type Measurement struct {
+	Program int
+	Logical int
+	Phys    int
+}
+
+// Schedule is the routed output for a set of co-located programs.
+type Schedule struct {
+	Device       *arch.Device
+	Ops          []Op
+	Measurements []Measurement
+	// SwapCount and InterSwapCount total the inserted SWAPs;
+	// BridgeCount totals the CNOTs executed as 4-CNOT bridges.
+	SwapCount      int
+	InterSwapCount int
+	BridgeCount    int
+	// SwapsByProgram attributes each SWAP to the program whose gate
+	// triggered it (inter-program SWAPs count for that program too).
+	SwapsByProgram []int
+	// FinalMapping[p][l] is the physical qubit holding program p's
+	// logical qubit l after all gates executed.
+	FinalMapping [][]int
+}
+
+// PhysicalCircuit renders the schedule as one circuit over the device's
+// physical qubits (SWAPs kept as swap gates; CNOTCount and Depth then
+// account them as 3 CNOTs / 3 layers).
+func (s *Schedule) PhysicalCircuit() *circuit.Circuit {
+	c := circuit.New("schedule", s.Device.NumQubits())
+	for _, op := range s.Ops {
+		c.Add(op.Gate)
+	}
+	return c
+}
+
+// CNOTCount returns the post-compilation CNOT count (SWAP = 3 CNOTs).
+func (s *Schedule) CNOTCount() int { return s.PhysicalCircuit().CNOTCount() }
+
+// Depth returns the post-compilation circuit depth (SWAP = 3 layers).
+func (s *Schedule) Depth() int { return s.PhysicalCircuit().Depth() }
+
+// Validate re-simulates the schedule's qubit movements and checks that
+// every two-qubit op touches coupled qubits, every source gate appears
+// exactly once per program in dependency order, and measurements match
+// the qubit positions at measure time.
+func (s *Schedule) Validate(progs []*circuit.Circuit, initial [][]int) error {
+	l2p := make([][]int, len(progs))
+	for p := range progs {
+		l2p[p] = append([]int(nil), initial[p]...)
+	}
+	next := make([]int, len(progs)) // next expected source gate per program (by DAG order we just check count)
+	emitted := make([][]bool, len(progs))
+	for p := range progs {
+		emitted[p] = make([]bool, len(progs[p].Gates))
+	}
+	p2l := map[int][2]int{} // phys -> (program, logical)
+	bridgeParts := map[[2]int]int{}
+	for p, m := range l2p {
+		for l, phys := range m {
+			if prev, ok := p2l[phys]; ok {
+				return fmt.Errorf("router: initial mapping collision on phys %d (%v vs %d/%d)", phys, prev, p, l)
+			}
+			p2l[phys] = [2]int{p, l}
+		}
+	}
+	type measCheck struct {
+		opIndex, program, logical, phys int
+	}
+	var measChecks []measCheck
+	for i, op := range s.Ops {
+		if op.Gate.IsTwoQubit() && !s.Device.Coupling.HasEdge(op.Gate.Qubits[0], op.Gate.Qubits[1]) {
+			return fmt.Errorf("router: op %d %v on uncoupled qubits", i, op.Gate)
+		}
+		if op.IsSwap {
+			a, b := op.Gate.Qubits[0], op.Gate.Qubits[1]
+			la, aok := p2l[a]
+			lb, bok := p2l[b]
+			if aok {
+				l2p[la[0]][la[1]] = b
+			}
+			if bok {
+				l2p[lb[0]][lb[1]] = a
+			}
+			delete(p2l, a)
+			delete(p2l, b)
+			if aok {
+				p2l[b] = la
+			}
+			if bok {
+				p2l[a] = lb
+			}
+			continue
+		}
+		p := op.Program
+		if p < 0 || p >= len(progs) {
+			return fmt.Errorf("router: op %d has program %d", i, p)
+		}
+		gi := op.GateIndex
+		if gi < 0 || gi >= len(progs[p].Gates) || emitted[p][gi] {
+			return fmt.Errorf("router: op %d bad/duplicate gate index %d", i, gi)
+		}
+		src := progs[p].Gates[gi]
+		if src.IsMeasure() {
+			// Measurements are deferred and carry final positions;
+			// verified after the replay completes.
+			measChecks = append(measChecks, measCheck{i, p, src.Qubits[0], op.Gate.Qubits[0]})
+			emitted[p][gi] = true
+			next[p]++
+			continue
+		}
+		if op.BridgePart > 0 {
+			key := [2]int{p, gi}
+			if op.BridgePart != bridgeParts[key]+1 {
+				return fmt.Errorf("router: op %d bridge part %d out of order", i, op.BridgePart)
+			}
+			bridgeParts[key] = op.BridgePart
+			// Parts 2 and 4 carry the control on the source's control
+			// qubit; parts 1 and 3 carry the target on the source's
+			// target qubit.
+			switch op.BridgePart {
+			case 2, 4:
+				if op.Gate.Qubits[0] != l2p[p][src.Qubits[0]] {
+					return fmt.Errorf("router: op %d bridge control mismatch", i)
+				}
+			default:
+				if op.Gate.Qubits[1] != l2p[p][src.Qubits[1]] {
+					return fmt.Errorf("router: op %d bridge target mismatch", i)
+				}
+			}
+			if op.BridgePart == 4 {
+				emitted[p][gi] = true
+				next[p]++
+			}
+			continue
+		}
+		for k, lq := range src.Qubits {
+			if l2p[p][lq] != op.Gate.Qubits[k] {
+				return fmt.Errorf("router: op %d operand %d: logical %d is at phys %d, op says %d",
+					i, k, lq, l2p[p][lq], op.Gate.Qubits[k])
+			}
+		}
+		emitted[p][gi] = true
+		next[p]++
+	}
+	for _, mc := range measChecks {
+		if got := l2p[mc.program][mc.logical]; got != mc.phys {
+			return fmt.Errorf("router: op %d measures phys %d but logical %d/%d ends at %d",
+				mc.opIndex, mc.phys, mc.program, mc.logical, got)
+		}
+	}
+	if len(s.Measurements) != len(measChecks) {
+		return fmt.Errorf("router: %d measurement records for %d measure ops", len(s.Measurements), len(measChecks))
+	}
+	for i, m := range s.Measurements {
+		if got := l2p[m.Program][m.Logical]; got != m.Phys {
+			return fmt.Errorf("router: measurement %d records phys %d, final position is %d", i, m.Phys, got)
+		}
+	}
+	for p := range progs {
+		want := 0
+		for _, g := range progs[p].Gates {
+			if !g.IsBarrier() {
+				want++
+			}
+		}
+		if next[p] != want {
+			return fmt.Errorf("router: program %d emitted %d/%d gates", p, next[p], want)
+		}
+	}
+	return nil
+}
+
+// Route routes the programs jointly on the device starting from the
+// given initial mappings (initial[p][l] = physical qubit of program p's
+// logical qubit l). Regions must be disjoint; every physical qubit not
+// in any mapping is free. It returns the complete schedule.
+func Route(d *arch.Device, progs []*circuit.Circuit, initial [][]int, opts Options) (*Schedule, error) {
+	if len(progs) != len(initial) {
+		return nil, fmt.Errorf("router: %d programs but %d mappings", len(progs), len(initial))
+	}
+	r := &run{
+		d:     d,
+		opts:  opts,
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+		sched: &Schedule{Device: d, SwapsByProgram: make([]int, len(progs))},
+		decay: make([]float64, d.NumQubits()),
+	}
+	r.owner = make([]int, d.NumQubits())
+	r.physLog = make([]int, d.NumQubits())
+	for q := range r.owner {
+		r.owner[q] = -1
+		r.physLog[q] = -1
+	}
+	for p, prog := range progs {
+		if prog.NumQubits != len(initial[p]) {
+			return nil, fmt.Errorf("router: program %d has %d qubits, mapping has %d", p, prog.NumQubits, len(initial[p]))
+		}
+		pr := &progCtx{
+			idx:   p,
+			circ:  prog,
+			state: circuit.NewState(circuit.NewDAG(prog)),
+			l2p:   append([]int(nil), initial[p]...),
+		}
+		for l, phys := range pr.l2p {
+			if phys < 0 || phys >= d.NumQubits() {
+				return nil, fmt.Errorf("router: program %d logical %d mapped to %d", p, l, phys)
+			}
+			if r.owner[phys] != -1 {
+				return nil, fmt.Errorf("router: physical qubit %d assigned twice", phys)
+			}
+			r.owner[phys] = p
+			r.physLog[phys] = l
+		}
+		r.progs = append(r.progs, pr)
+	}
+	for p, prog := range progs {
+		if err := measuresAreTerminal(prog); err != nil {
+			return nil, fmt.Errorf("router: program %d: %w", p, err)
+		}
+	}
+	if err := r.route(); err != nil {
+		return nil, err
+	}
+	r.sched.FinalMapping = make([][]int, len(progs))
+	for p, pr := range r.progs {
+		r.sched.FinalMapping[p] = append([]int(nil), pr.l2p...)
+	}
+	// Measurements are deferred to the end of the co-located schedule
+	// (a program cannot be measured while others still run, §III-C),
+	// and later SWAPs — including other programs' inter-program SWAPs —
+	// may move an already-"measured" qubit. Rewrite every measurement
+	// to the qubit's final physical position.
+	for i := range r.sched.Ops {
+		op := &r.sched.Ops[i]
+		if op.Gate.IsMeasure() && op.Program >= 0 {
+			lq := progs[op.Program].Gates[op.GateIndex].Qubits[0]
+			op.Gate = circuit.Gate{Name: circuit.GateMeasure, Qubits: []int{r.progs[op.Program].l2p[lq]}}
+		}
+	}
+	for i := range r.sched.Measurements {
+		m := &r.sched.Measurements[i]
+		m.Phys = r.progs[m.Program].l2p[m.Logical]
+	}
+	return r.sched, nil
+}
+
+// measuresAreTerminal checks that no gate touches a qubit after that
+// qubit's measurement: the schedule defers all measurements to the end,
+// which is only sound for terminal measurements.
+func measuresAreTerminal(c *circuit.Circuit) error {
+	measured := make([]bool, c.NumQubits)
+	for i, g := range c.Gates {
+		if g.IsBarrier() {
+			continue
+		}
+		for _, q := range g.Qubits {
+			if measured[q] {
+				return fmt.Errorf("gate %d touches qubit %d after its measurement", i, q)
+			}
+		}
+		if g.IsMeasure() {
+			measured[g.Qubits[0]] = true
+		}
+	}
+	return nil
+}
+
+type progCtx struct {
+	idx   int
+	circ  *circuit.Circuit
+	state *circuit.State
+	l2p   []int
+}
+
+type run struct {
+	d       *arch.Device
+	opts    Options
+	rng     *rand.Rand
+	progs   []*progCtx
+	sched   *Schedule
+	owner   []int // phys -> program or -1
+	physLog []int // phys -> logical within owner or -1
+	decay   []float64
+	nswaps  int
+}
+
+func (r *run) route() error {
+	hops := r.d.Hops()
+	stall := 0
+	limit := 200 + 20*r.d.NumQubits()
+	for {
+		progress := r.executeCompliant()
+		done := true
+		for _, p := range r.progs {
+			if !p.state.Done() {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+		if progress {
+			stall = 0
+		} else {
+			stall++
+		}
+		if stall > limit {
+			// Livelock backstop: walk the most blocked gate home along
+			// its shortest legal path.
+			if err := r.forceProgress(hops); err != nil {
+				return err
+			}
+			stall = 0
+			continue
+		}
+		if r.opts.UseBridge && r.tryBridges(hops) {
+			stall = 0
+			continue
+		}
+		cands := r.swapCandidates()
+		if len(cands) == 0 {
+			if err := r.forceProgress(hops); err != nil {
+				return err
+			}
+			continue
+		}
+		best := r.pickSwap(cands, hops)
+		r.applySwap(best, hops)
+	}
+}
+
+// executeCompliant drains every hardware-compliant gate from all front
+// layers (Algorithm 3 lines 4-6), returning whether anything executed.
+func (r *run) executeCompliant() bool {
+	any := false
+	for {
+		progress := false
+		for _, p := range r.progs {
+			for _, gi := range p.state.Front() {
+				g := p.circ.Gates[gi]
+				switch {
+				case g.IsBarrier():
+					p.state.Execute(gi)
+					progress = true
+				case g.IsMeasure():
+					phys := p.l2p[g.Qubits[0]]
+					r.emit(p, gi, circuit.Gate{Name: circuit.GateMeasure, Qubits: []int{phys}})
+					r.sched.Measurements = append(r.sched.Measurements, Measurement{
+						Program: p.idx, Logical: g.Qubits[0], Phys: phys,
+					})
+					p.state.Execute(gi)
+					progress = true
+				case !g.IsTwoQubit():
+					r.emit(p, gi, g.Remap(func(l int) int { return p.l2p[l] }))
+					p.state.Execute(gi)
+					progress = true
+				default:
+					a, b := p.l2p[g.Qubits[0]], p.l2p[g.Qubits[1]]
+					if r.d.Coupling.HasEdge(a, b) {
+						r.emit(p, gi, g.Remap(func(l int) int { return p.l2p[l] }))
+						p.state.Execute(gi)
+						progress = true
+					}
+				}
+			}
+		}
+		if !progress {
+			return any
+		}
+		any = true
+	}
+}
+
+func (r *run) emit(p *progCtx, gateIndex int, g circuit.Gate) {
+	r.sched.Ops = append(r.sched.Ops, Op{Program: p.idx, Gate: g, GateIndex: gateIndex, TriggerProgram: -1})
+}
+
+// tryBridges executes blocked distance-2 CNOTs whose qubit pair does
+// not recur in the look-ahead window as 4-CNOT bridges (middle qubit
+// restored, mapping unchanged). Returns whether any gate executed.
+func (r *run) tryBridges(hops [][]int) bool {
+	any := false
+	for _, p := range r.progs {
+		for _, gi := range r.blockedFront(p) {
+			g := p.circ.Gates[gi]
+			if !g.IsCNOT() {
+				continue
+			}
+			c, t := p.l2p[g.Qubits[0]], p.l2p[g.Qubits[1]]
+			if hops[c][t] != 2 {
+				continue
+			}
+			if r.pairRecurs(p, g.Qubits[0], g.Qubits[1]) {
+				continue // SWAPping pays off for recurring pairs
+			}
+			m := r.bridgeMiddle(c, t, p.idx)
+			if m < 0 {
+				continue
+			}
+			seq := [4][2]int{{m, t}, {c, m}, {m, t}, {c, m}}
+			for k, cx := range seq {
+				r.sched.Ops = append(r.sched.Ops, Op{
+					Program:        p.idx,
+					Gate:           circuit.Gate{Name: circuit.GateCX, Qubits: []int{cx[0], cx[1]}},
+					GateIndex:      gi,
+					BridgePart:     k + 1,
+					TriggerProgram: -1,
+				})
+			}
+			r.sched.BridgeCount++
+			p.state.Execute(gi)
+			any = true
+		}
+	}
+	return any
+}
+
+// pairRecurs reports whether the logical pair (a,b) appears in another
+// unexecuted two-qubit gate within the program's look-ahead window.
+func (r *run) pairRecurs(p *progCtx, a, b int) bool {
+	if a > b {
+		a, b = b, a
+	}
+	window := p.state.ExtendedSet(r.opts.ExtendedSetSize)
+	for _, gi := range window {
+		g := p.circ.Gates[gi]
+		x, y := g.Qubits[0], g.Qubits[1]
+		if x > y {
+			x, y = y, x
+		}
+		if x == a && y == b {
+			return true
+		}
+	}
+	return false
+}
+
+// bridgeMiddle returns the most reliable qubit adjacent to both c and t
+// that the inter-program policy allows as a bridge middle, or -1.
+func (r *run) bridgeMiddle(c, t, prog int) int {
+	best, bestRel := -1, -1.0
+	for _, m := range r.d.Coupling.Neighbors(c) {
+		if !r.d.Coupling.HasEdge(m, t) {
+			continue
+		}
+		if !r.opts.InterProgram && r.owner[m] != -1 && r.owner[m] != prog {
+			continue
+		}
+		rel := (1 - r.d.CNOTError(c, m)) * (1 - r.d.CNOTError(m, t))
+		if rel > bestRel {
+			best, bestRel = m, rel
+		}
+	}
+	return best
+}
+
+// swapCandidate is one candidate SWAP on a coupling edge.
+type swapCandidate struct {
+	a, b int // physical qubits
+	// trigger is the program whose blocked gate generated the
+	// candidate (for SWAP attribution).
+	trigger int
+}
+
+// swapCandidates collects the SWAPs associated with the qubits of the
+// candidate gates (critical gates when enabled and present, otherwise
+// all blocked front gates), filtered by the inter-program policy.
+func (r *run) swapCandidates() []swapCandidate {
+	seen := map[[2]int]bool{}
+	var out []swapCandidate
+	for _, p := range r.progs {
+		gates := r.candidateGates(p)
+		for _, gi := range gates {
+			g := p.circ.Gates[gi]
+			for _, lq := range g.Qubits {
+				phys := p.l2p[lq]
+				for _, nb := range r.d.Coupling.Neighbors(phys) {
+					if !r.swapAllowed(p.idx, phys, nb) {
+						continue
+					}
+					key := [2]int{phys, nb}
+					if key[0] > key[1] {
+						key[0], key[1] = key[1], key[0]
+					}
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					out = append(out, swapCandidate{a: key[0], b: key[1], trigger: p.idx})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].a != out[j].a {
+			return out[i].a < out[j].a
+		}
+		return out[i].b < out[j].b
+	})
+	return out
+}
+
+// candidateGates returns the gate indices whose qubits seed SWAP
+// candidates for program p: blocked front two-qubit gates, narrowed to
+// critical gates when the option is on and any exist.
+func (r *run) candidateGates(p *progCtx) []int {
+	front := r.blockedFront(p)
+	if !r.opts.CriticalGatesOnly {
+		return front
+	}
+	var crit []int
+	critSet := map[int]bool{}
+	for _, gi := range p.state.CriticalGates() {
+		critSet[gi] = true
+	}
+	for _, gi := range front {
+		if critSet[gi] {
+			crit = append(crit, gi)
+		}
+	}
+	if len(crit) > 0 {
+		return crit
+	}
+	return front
+}
+
+// blockedFront returns p's front-layer two-qubit gates that are not
+// hardware-compliant (executeCompliant has already drained compliant
+// ones, but stay defensive).
+func (r *run) blockedFront(p *progCtx) []int {
+	var out []int
+	for _, gi := range p.state.FrontTwoQubit() {
+		g := p.circ.Gates[gi]
+		a, b := p.l2p[g.Qubits[0]], p.l2p[g.Qubits[1]]
+		if !r.d.Coupling.HasEdge(a, b) {
+			out = append(out, gi)
+		}
+	}
+	return out
+}
+
+// swapAllowed applies the inter-program policy: a SWAP touching another
+// program's qubit is only legal under X-SWAP.
+func (r *run) swapAllowed(prog, a, b int) bool {
+	if r.opts.InterProgram {
+		return true
+	}
+	for _, q := range [2]int{a, b} {
+		if r.owner[q] != -1 && r.owner[q] != prog {
+			return false
+		}
+	}
+	return true
+}
+
+// restrictedHops returns D'_p: hop distances over the qubits free or
+// owned by program p (Equation 2's per-program matrix), recomputed from
+// live ownership.
+func (r *run) restrictedHops(p int) [][]int {
+	allowed := make([]bool, r.d.NumQubits())
+	for q := range allowed {
+		allowed[q] = r.owner[q] == -1 || r.owner[q] == p
+	}
+	return r.d.Coupling.RestrictedHops(allowed)
+}
+
+// progSnapshot caches everything score evaluation needs about one
+// program for one SWAP decision, so candidates don't recompute it.
+type progSnapshot struct {
+	p     *progCtx
+	front []int   // blocked front-layer 2q gate indices
+	ext   []int   // extended-set gate indices
+	dist  [][]int // distance matrix used by H (D or D'_p)
+	// gainOf[k] is Equation 2's gain for front[k] (0 when irrelevant),
+	// and gainST[k] the gate's current physical endpoints.
+	gainOf []float64
+	gainST [][2]int
+}
+
+// pickSwap scores every candidate with the heuristic cost function
+// (Equation 3) and returns the minimum; ties break uniformly at random.
+func (r *run) pickSwap(cands []swapCandidate, hops [][]int) swapCandidate {
+	snaps := make([]progSnapshot, 0, len(r.progs))
+	for _, p := range r.progs {
+		front := r.blockedFront(p)
+		if len(front) == 0 {
+			continue
+		}
+		snap := progSnapshot{p: p, front: front}
+		if r.opts.ExtendedSetWeight > 0 && r.opts.ExtendedSetSize > 0 {
+			snap.ext = p.state.ExtendedSet(r.opts.ExtendedSetSize)
+		}
+		if r.opts.InterProgram {
+			snap.dist = hops
+		} else {
+			snap.dist = r.restrictedHops(p.idx)
+		}
+		if r.opts.InterProgram && r.opts.GainTerm {
+			dp := r.restrictedHops(p.idx)
+			snap.gainOf = make([]float64, len(front))
+			snap.gainST = make([][2]int, len(front))
+			for k, gi := range front {
+				g := p.circ.Gates[gi]
+				s, t := p.l2p[g.Qubits[0]], p.l2p[g.Qubits[1]]
+				snap.gainST[k] = [2]int{s, t}
+				dGlobal := hops[s][t]
+				dOwn := dp[s][t]
+				if dOwn < 0 {
+					dOwn = r.d.NumQubits() * 2
+				}
+				if gain := float64(dGlobal - dOwn); gain < 0 {
+					snap.gainOf[k] = gain
+				}
+			}
+		}
+		snaps = append(snaps, snap)
+	}
+
+	type scored struct {
+		c swapCandidate
+		s float64
+	}
+	var best []scored
+	bestScore := math.Inf(1)
+	for _, c := range cands {
+		s := r.scoreSwap(c, hops, snaps)
+		switch {
+		case s < bestScore-1e-9:
+			bestScore = s
+			best = best[:0]
+			best = append(best, scored{c, s})
+		case s <= bestScore+1e-9:
+			best = append(best, scored{c, s})
+		}
+	}
+	return best[r.rng.Intn(len(best))].c
+}
+
+// scoreSwap computes score(SWAP) = H(SWAP) + Σ_i (1/|F_i|) Σ_g
+// gain(g)·I(SWAP,g) plus the decay and noise terms.
+func (r *run) scoreSwap(c swapCandidate, hops [][]int, snaps []progSnapshot) float64 {
+	h := 0.0
+	for si := range snaps {
+		snap := &snaps[si]
+		p := snap.p
+		// Trial mapping: where each logical qubit would be after the swap.
+		trial := func(l int) int {
+			phys := p.l2p[l]
+			switch phys {
+			case c.a:
+				return c.b
+			case c.b:
+				return c.a
+			}
+			return phys
+		}
+		sum := 0.0
+		for _, gi := range snap.front {
+			g := p.circ.Gates[gi]
+			dd := snap.dist[trial(g.Qubits[0])][trial(g.Qubits[1])]
+			if dd < 0 {
+				dd = r.d.NumQubits() // unreachable under restriction: strongly discourage
+			}
+			sum += float64(dd)
+		}
+		h += sum / float64(len(snap.front))
+		if len(snap.ext) > 0 {
+			esum := 0.0
+			for _, gi := range snap.ext {
+				g := p.circ.Gates[gi]
+				dd := snap.dist[trial(g.Qubits[0])][trial(g.Qubits[1])]
+				if dd < 0 {
+					dd = r.d.NumQubits()
+				}
+				esum += float64(dd)
+			}
+			h += r.opts.ExtendedSetWeight * esum / float64(len(snap.ext))
+		}
+
+		// Gain term (Equations 2-3): prioritize SWAPs lying on the
+		// global shortest path of gates for which inter-program routing
+		// is shorter than intra-program routing; gain(g) = D - D'_i <= 0
+		// lowers the score of such SWAPs.
+		if snap.gainOf != nil {
+			gsum := 0.0
+			for k := range snap.front {
+				if snap.gainOf[k] == 0 {
+					continue
+				}
+				st := snap.gainST[k]
+				if onShortestPath(hops, st[0], st[1], c.a, c.b) {
+					gsum += snap.gainOf[k]
+				}
+			}
+			h += gsum / float64(len(snap.front))
+		}
+	}
+
+	// Decay discourages revisiting recently swapped qubits.
+	dec := r.decay[c.a]
+	if r.decay[c.b] > dec {
+		dec = r.decay[c.b]
+	}
+	h *= 1 + dec
+
+	// Noise-awareness: penalize unreliable links.
+	if r.opts.NoisePenalty > 0 {
+		rel := 1 - r.d.CNOTError(c.a, c.b)
+		if rel < 1e-9 {
+			rel = 1e-9
+		}
+		h += r.opts.NoisePenalty * 3 * -math.Log(rel)
+	}
+	return h
+}
+
+// onShortestPath reports whether the edge {a,b} lies on some shortest
+// path between s and t.
+func onShortestPath(hops [][]int, s, t, a, b int) bool {
+	d := hops[s][t]
+	if d < 0 {
+		return false
+	}
+	if hops[s][a] >= 0 && hops[b][t] >= 0 && hops[s][a]+1+hops[b][t] == d {
+		return true
+	}
+	return hops[s][b] >= 0 && hops[a][t] >= 0 && hops[s][b]+1+hops[a][t] == d
+}
+
+// applySwap emits the SWAP and updates mappings, ownership and decay.
+func (r *run) applySwap(c swapCandidate, hops [][]int) {
+	inter := r.owner[c.a] != -1 && r.owner[c.b] != -1 && r.owner[c.a] != r.owner[c.b]
+	r.sched.Ops = append(r.sched.Ops, Op{
+		Program:        -1,
+		Gate:           circuit.Gate{Name: circuit.GateSWAP, Qubits: []int{c.a, c.b}},
+		IsSwap:         true,
+		InterProgram:   inter,
+		GateIndex:      -1,
+		TriggerProgram: c.trigger,
+	})
+	r.sched.SwapCount++
+	if inter {
+		r.sched.InterSwapCount++
+	}
+	if c.trigger >= 0 && c.trigger < len(r.sched.SwapsByProgram) {
+		r.sched.SwapsByProgram[c.trigger]++
+	}
+
+	oa, ob := r.owner[c.a], r.owner[c.b]
+	la, lb := r.physLog[c.a], r.physLog[c.b]
+	if oa != -1 {
+		r.progs[oa].l2p[la] = c.b
+	}
+	if ob != -1 {
+		r.progs[ob].l2p[lb] = c.a
+	}
+	r.owner[c.a], r.owner[c.b] = ob, oa
+	r.physLog[c.a], r.physLog[c.b] = lb, la
+
+	r.nswaps++
+	if r.opts.DecayResetInterval > 0 && r.nswaps%r.opts.DecayResetInterval == 0 {
+		for i := range r.decay {
+			r.decay[i] = 0
+		}
+	} else {
+		r.decay[c.a] += r.opts.DecayFactor
+		r.decay[c.b] += r.opts.DecayFactor
+	}
+}
+
+// forceProgress routes the single most-blocked gate directly: it walks
+// one endpoint toward the other along a legal shortest path, emitting
+// the needed SWAPs. Guarantees termination when heuristic search stalls.
+func (r *run) forceProgress(hops [][]int) error {
+	// Pick the blocked gate with the smallest current distance.
+	var (
+		bp   *progCtx
+		bg   = -1
+		bd   = 1 << 30
+		path []int
+	)
+	for _, p := range r.progs {
+		for _, gi := range r.blockedFront(p) {
+			g := p.circ.Gates[gi]
+			s, t := p.l2p[g.Qubits[0]], p.l2p[g.Qubits[1]]
+			var pth []int
+			if r.opts.InterProgram {
+				pth = r.d.Coupling.ShortestPath(s, t)
+			} else {
+				pth = r.restrictedPath(p.idx, s, t)
+			}
+			if pth == nil {
+				continue
+			}
+			if len(pth) < bd {
+				bp, bg, bd, path = p, gi, len(pth), pth
+			}
+		}
+	}
+	if bg < 0 {
+		return fmt.Errorf("router: no blocked gate is routable; chip regions disconnected")
+	}
+	// Swap the source endpoint along the path until adjacent.
+	for i := 0; i+2 < len(path); i++ {
+		r.applySwap(swapCandidate{a: min2(path[i], path[i+1]), b: max2(path[i], path[i+1]), trigger: bp.idx}, hops)
+	}
+	return nil
+}
+
+// restrictedPath returns a shortest path from s to t over qubits free or
+// owned by program p.
+func (r *run) restrictedPath(p, s, t int) []int {
+	allowed := make([]bool, r.d.NumQubits())
+	for q := range allowed {
+		allowed[q] = r.owner[q] == -1 || r.owner[q] == p
+	}
+	if !allowed[s] || !allowed[t] {
+		return nil
+	}
+	// BFS with deterministic tie-break.
+	prev := make([]int, r.d.NumQubits())
+	dist := make([]int, r.d.NumQubits())
+	for i := range prev {
+		prev[i] = -1
+		dist[i] = -1
+	}
+	dist[s] = 0
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		nbrs := append([]int(nil), r.d.Coupling.Neighbors(u)...)
+		sort.Ints(nbrs)
+		for _, v := range nbrs {
+			if allowed[v] && dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				prev[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	if dist[t] < 0 {
+		return nil
+	}
+	var path []int
+	for at := t; at != -1; at = prev[at] {
+		path = append(path, at)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,113 @@
+package router
+
+import (
+	"math/rand"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+)
+
+// RouteSingle routes one program (e.g. a merged multi-program circuit)
+// with the given initial mapping.
+func RouteSingle(d *arch.Device, prog *circuit.Circuit, initial []int, opts Options) (*Schedule, error) {
+	return Route(d, []*circuit.Circuit{prog}, [][]int{initial}, opts)
+}
+
+// stripMeasures returns the circuit without measurement gates (reverse
+// traversal must not replay measurements).
+func stripMeasures(c *circuit.Circuit) *circuit.Circuit {
+	out := circuit.New(c.Name+"-nomeas", c.NumQubits)
+	for _, g := range c.Gates {
+		if !g.IsMeasure() {
+			out.Add(g)
+		}
+	}
+	return out
+}
+
+// reversed returns the circuit with its gate order reversed (gate
+// inverses are irrelevant for mapping: only qubit pairs matter).
+func reversed(c *circuit.Circuit) *circuit.Circuit {
+	out := circuit.New(c.Name+"-rev", c.NumQubits)
+	for i := len(c.Gates) - 1; i >= 0; i-- {
+		if !c.Gates[i].IsBarrier() {
+			out.Add(c.Gates[i])
+		}
+	}
+	return out
+}
+
+// RandomInitialMapping returns a uniformly random injective mapping of
+// the program's logical qubits onto the device.
+func RandomInitialMapping(d *arch.Device, prog *circuit.Circuit, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(d.NumQubits())
+	return perm[:prog.NumQubits]
+}
+
+// ReverseTraversal implements SABRE's initial-mapping refinement: route
+// the circuit forward, reuse the final mapping as the initial mapping of
+// the reversed circuit, and iterate. The returned mapping is the one to
+// use for the final forward pass. iters counts forward/backward pairs
+// (the paper uses a small constant; 3 by our default callers).
+func ReverseTraversal(d *arch.Device, prog *circuit.Circuit, start []int, iters int, opts Options) ([]int, error) {
+	fwd := stripMeasures(prog)
+	bwd := reversed(fwd)
+	mapping := append([]int(nil), start...)
+	for i := 0; i < iters; i++ {
+		s, err := RouteSingle(d, fwd, mapping, opts)
+		if err != nil {
+			return nil, err
+		}
+		mapping = s.FinalMapping[0]
+		s, err = RouteSingle(d, bwd, mapping, opts)
+		if err != nil {
+			return nil, err
+		}
+		mapping = s.FinalMapping[0]
+	}
+	return mapping, nil
+}
+
+// ReverseTraversalMulti refines the initial mappings of co-located
+// programs jointly: route all programs forward, reuse the final
+// mappings for the reversed programs, and iterate. The SWAP policy in
+// opts (intra-only vs X-SWAP) is honored throughout, so programs stay
+// within reach of their partitions under intra-only routing.
+func ReverseTraversalMulti(d *arch.Device, progs []*circuit.Circuit, initial [][]int, iters int, opts Options) ([][]int, error) {
+	fwd := make([]*circuit.Circuit, len(progs))
+	bwd := make([]*circuit.Circuit, len(progs))
+	for i, p := range progs {
+		fwd[i] = stripMeasures(p)
+		bwd[i] = reversed(fwd[i])
+	}
+	maps := make([][]int, len(initial))
+	for i := range initial {
+		maps[i] = append([]int(nil), initial[i]...)
+	}
+	for it := 0; it < iters; it++ {
+		s, err := Route(d, fwd, maps, opts)
+		if err != nil {
+			return nil, err
+		}
+		maps = s.FinalMapping
+		s, err = Route(d, bwd, maps, opts)
+		if err != nil {
+			return nil, err
+		}
+		maps = s.FinalMapping
+	}
+	return maps, nil
+}
+
+// SABRECompile compiles a single circuit with SABRE: random initial
+// mapping refined by reverse traversal, then a final forward route. It
+// is the single-program strategy the merged-circuit baseline uses.
+func SABRECompile(d *arch.Device, prog *circuit.Circuit, opts Options, traversals int) (*Schedule, error) {
+	start := RandomInitialMapping(d, prog, opts.Seed)
+	mapping, err := ReverseTraversal(d, prog, start, traversals, opts)
+	if err != nil {
+		return nil, err
+	}
+	return RouteSingle(d, prog, mapping, opts)
+}

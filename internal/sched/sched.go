@@ -1,0 +1,226 @@
+// Package sched implements the paper's compilation task scheduler
+// (Algorithm 4): it batches queued quantum programs for multi-programming
+// when the estimated fidelity loss stays under a threshold. Fidelity is
+// estimated with EPST (Equation 4) on the regions the CDAP partitioner
+// would allocate; the throughput gain is reported as the Trial Reduction
+// Factor (TRF).
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/community"
+	"repro/internal/partition"
+)
+
+// Job is one queued compilation task.
+type Job struct {
+	// ID is the caller's identifier (unique within a queue).
+	ID int
+	// Circ is the program to run.
+	Circ *circuit.Circuit
+}
+
+// Batch is a set of jobs scheduled to run concurrently; a singleton
+// batch is a separate execution.
+type Batch struct {
+	JobIDs []int
+}
+
+// Config tunes Algorithm 4.
+type Config struct {
+	// Epsilon is the maximum tolerated EPST violation
+	// 1 - coEPST/sepEPST for every job in a batch.
+	Epsilon float64
+	// Lookahead is N: only the first N queued jobs are considered when
+	// extending a batch (10 in the paper).
+	Lookahead int
+	// MaxColocate bounds the batch size (the paper's
+	// max_colocate_num; it "supports more than two programs").
+	MaxColocate int
+	// Omega is the CDAP reward weight for the hierarchy tree.
+	Omega float64
+}
+
+// DefaultConfig mirrors the paper's defaults with the knee ω for IBMQ16.
+func DefaultConfig() Config {
+	return Config{Epsilon: 0.15, Lookahead: 10, MaxColocate: 3, Omega: 0.95}
+}
+
+// EPST computes Equation 4 for a program allocated to the given
+// physical-qubit region: r2q^|CNOTs| * r1q^|1q| * rro^|qubits| where the
+// r's are the mean reliabilities over the region's links and qubits.
+func EPST(d *arch.Device, p *circuit.Circuit, region []int) float64 {
+	if len(region) == 0 {
+		return 0
+	}
+	var r2q float64
+	edges := d.Coupling.InducedEdges(region)
+	if len(edges) > 0 {
+		for _, e := range edges {
+			r2q += 1 - d.CNOTErr[e]
+		}
+		r2q /= float64(len(edges))
+	} else {
+		r2q = 1 // single-qubit region: no CNOTs possible anyway
+	}
+	var r1q, rro float64
+	for _, q := range region {
+		r1q += 1 - d.Gate1Err[q]
+		rro += 1 - d.ReadoutErr[q]
+	}
+	r1q /= float64(len(region))
+	rro /= float64(len(region))
+	return math.Pow(r2q, float64(p.RawCNOTCount())) *
+		math.Pow(r1q, float64(p.Gate1Count())) *
+		math.Pow(rro, float64(p.NumQubits))
+}
+
+// SeparateEPST is a program's best-case EPST: the EPST on the region
+// CDAP allocates when the program runs alone.
+func SeparateEPST(d *arch.Device, tree *community.Tree, p *circuit.Circuit) (float64, error) {
+	res, err := partition.CDAP(d, tree, []*circuit.Circuit{p})
+	if err != nil {
+		return 0, err
+	}
+	return EPST(d, p, res.Assignments[0].Region), nil
+}
+
+// ColocatedEPST partitions the chip among all programs with CDAP and
+// returns each program's EPST on its allocated region.
+func ColocatedEPST(d *arch.Device, tree *community.Tree, progs []*circuit.Circuit) ([]float64, error) {
+	res, err := partition.CDAP(d, tree, progs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(progs))
+	for i, a := range res.Assignments {
+		out[i] = EPST(d, progs[i], a.Region)
+	}
+	return out, nil
+}
+
+// Schedule runs Algorithm 4 over the job queue and returns the batches
+// in submission order. Jobs that cannot be co-located within the
+// violation threshold run separately. An error is returned only when a
+// job cannot be placed at all (more qubits than the chip has).
+func Schedule(d *arch.Device, jobs []Job, cfg Config) ([]Batch, error) {
+	if cfg.Lookahead <= 0 {
+		cfg.Lookahead = 10
+	}
+	if cfg.MaxColocate <= 0 {
+		cfg.MaxColocate = 2
+	}
+	tree := community.Build(d, cfg.Omega)
+	sepCache := map[int]float64{}
+	sepEPST := func(j Job) (float64, error) {
+		if v, ok := sepCache[j.ID]; ok {
+			return v, nil
+		}
+		v, err := SeparateEPST(d, tree, j.Circ)
+		if err != nil {
+			return 0, fmt.Errorf("sched: job %d cannot run even alone: %w", j.ID, err)
+		}
+		sepCache[j.ID] = v
+		return v, nil
+	}
+
+	queue := append([]Job(nil), jobs...)
+	var batches []Batch
+	for len(queue) > 0 {
+		cur := []Job{queue[0]}
+		if _, err := sepEPST(queue[0]); err != nil {
+			return nil, err
+		}
+		idx := 1
+		for idx < len(queue) && idx < cfg.Lookahead && len(cur) < cfg.MaxColocate {
+			trial := append(append([]Job(nil), cur...), queue[idx])
+			if violationOK(d, tree, trial, sepEPST, cfg.Epsilon) {
+				cur = trial
+			}
+			idx++
+		}
+		ids := make([]int, len(cur))
+		inBatch := map[int]bool{}
+		for i, j := range cur {
+			ids[i] = j.ID
+			inBatch[j.ID] = true
+		}
+		batches = append(batches, Batch{JobIDs: ids})
+		var rest []Job
+		for _, j := range queue {
+			if !inBatch[j.ID] {
+				rest = append(rest, j)
+			}
+		}
+		queue = rest
+	}
+	return batches, nil
+}
+
+// violationOK reports whether every job in the trial batch keeps its
+// EPST violation within epsilon.
+func violationOK(d *arch.Device, tree *community.Tree, trial []Job, sepEPST func(Job) (float64, error), epsilon float64) bool {
+	progs := make([]*circuit.Circuit, len(trial))
+	for i, j := range trial {
+		progs[i] = j.Circ
+	}
+	co, err := ColocatedEPST(d, tree, progs)
+	if err != nil {
+		if errors.Is(err, partition.ErrNoRegion) {
+			return false
+		}
+		return false
+	}
+	for i, j := range trial {
+		sep, err := sepEPST(j)
+		if err != nil || sep == 0 {
+			return false
+		}
+		if violation := 1 - co[i]/sep; violation > epsilon {
+			return false
+		}
+	}
+	return true
+}
+
+// TRF is the Trial Reduction Factor: the ratio of executions needed
+// separately (one per job) to the executions needed with the batching
+// (one per batch). Separate execution has TRF 1; perfect pairing has 2.
+func TRF(numJobs int, batches []Batch) float64 {
+	if len(batches) == 0 {
+		return 0
+	}
+	return float64(numJobs) / float64(len(batches))
+}
+
+// RandomPairs is the random-workload baseline of §V-B3: it shuffles the
+// queue with the given seed and pairs consecutive jobs unconditionally
+// (the last job runs alone when the count is odd).
+func RandomPairs(jobs []Job, seed int64) []Batch {
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(len(jobs))
+	var batches []Batch
+	for i := 0; i < len(order); i += 2 {
+		b := Batch{JobIDs: []int{jobs[order[i]].ID}}
+		if i+1 < len(order) {
+			b.JobIDs = append(b.JobIDs, jobs[order[i+1]].ID)
+		}
+		batches = append(batches, b)
+	}
+	return batches
+}
+
+// SeparateAll is the separate-execution baseline: one batch per job.
+func SeparateAll(jobs []Job) []Batch {
+	out := make([]Batch, len(jobs))
+	for i, j := range jobs {
+		out[i] = Batch{JobIDs: []int{j.ID}}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/router"
+)
+
+// SimulateScheduleClifford estimates per-program PSTs like
+// SimulateSchedule, but with the stabilizer tableau backend: it handles
+// any number of active qubits (50-qubit chips included) as long as
+// every gate in the schedule is Clifford. The reference outcome is the
+// noiseless run with random measurement outcomes resolved to 0,
+// matching the statevector engine's lowest-index modal convention.
+func SimulateScheduleClifford(d *arch.Device, sched *router.Schedule, progs []*circuit.Circuit, trials int, seed int64, noise NoiseModel) (*Outcome, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("sim: trials must be positive, got %d", trials)
+	}
+	lay := layerize(sched)
+	if noise.Enabled && noise.SerializeCrosstalk {
+		lay = serializeCrosstalk(d, lay)
+	}
+	for _, layer := range lay.layers {
+		for _, op := range layer {
+			if op.Gate.IsMeasure() || op.Gate.IsBarrier() {
+				continue
+			}
+			if !IsClifford(&circuit.Circuit{NumQubits: d.NumQubits(), Gates: []circuit.Gate{op.Gate}}) {
+				return nil, fmt.Errorf("sim: schedule contains non-Clifford gate %q", op.Gate.Name)
+			}
+		}
+	}
+	measOf := make([][]router.Measurement, len(progs))
+	for _, m := range lay.measures {
+		if m.Program < 0 || m.Program >= len(progs) {
+			return nil, fmt.Errorf("sim: measurement for unknown program %d", m.Program)
+		}
+		measOf[m.Program] = append(measOf[m.Program], m)
+	}
+	// Global deterministic measurement order: program, then logical.
+	var order []router.Measurement
+	for p := range measOf {
+		ms := measOf[p]
+		for i := 0; i < len(ms); i++ {
+			min := i
+			for j := i + 1; j < len(ms); j++ {
+				if ms[j].Logical < ms[min].Logical {
+					min = j
+				}
+			}
+			ms[i], ms[min] = ms[min], ms[i]
+		}
+		order = append(order, ms...)
+	}
+
+	// Reference: noiseless run, random outcomes resolved to 0.
+	ref := newPtab(len(lay.active))
+	if err := runTrialT(ref, d, lay, NoiseModel{}, rand.New(rand.NewSource(seed))); err != nil {
+		return nil, err
+	}
+	correctBits := map[[2]int]int{}
+	correct := make([]string, len(progs))
+	bufs := make([][]byte, len(progs))
+	for p := range progs {
+		bufs[p] = make([]byte, 0, len(measOf[p]))
+	}
+	for _, m := range order {
+		b := ref.measure(lay.compact[m.Phys], func() bool { return false })
+		correctBits[[2]int{m.Program, m.Logical}] = b
+		bufs[m.Program] = append(bufs[m.Program], byte('0'+b))
+	}
+	for p := range progs {
+		correct[p] = string(bufs[p])
+	}
+
+	rng := rand.New(rand.NewSource(seed + 0x9e3779b9))
+	succ := make([]int, len(progs))
+	for trial := 0; trial < trials; trial++ {
+		tb := newPtab(len(lay.active))
+		if err := runTrialT(tb, d, lay, noise, rng); err != nil {
+			return nil, err
+		}
+		ok := make([]bool, len(progs))
+		for p := range ok {
+			ok[p] = true
+		}
+		for _, m := range order {
+			b := tb.measure(lay.compact[m.Phys], func() bool { return rng.Intn(2) == 1 })
+			if noise.Enabled && noise.Readout && rng.Float64() < d.ReadoutErr[m.Phys] {
+				b ^= 1
+			}
+			if b != correctBits[[2]int{m.Program, m.Logical}] {
+				ok[m.Program] = false
+			}
+		}
+		for p := range progs {
+			if ok[p] {
+				succ[p]++
+			}
+		}
+	}
+	out := &Outcome{PST: make([]float64, len(progs)), Correct: correct, Trials: trials}
+	for p := range progs {
+		out.PST[p] = float64(succ[p]) / float64(trials)
+	}
+	return out, nil
+}
+
+// cliffordBackend is satisfied by both stabilizer implementations: the
+// boolean reference tableau and the bit-packed ptab.
+type cliffordBackend interface {
+	applyCliffordGate(g circuit.Gate, qmap func(int) int) error
+	injectPauliT(q int, rng *rand.Rand)
+	decayT(q int, rng *rand.Rand)
+	measure(q int, pick func() bool) int
+}
+
+// runTrialT is runTrial over a stabilizer backend.
+func runTrialT(tb cliffordBackend, d *arch.Device, lay *layered, noise NoiseModel, rng *rand.Rand) error {
+	qmapOf := func(g circuit.Gate) func(int) int {
+		return func(q int) int { return lay.compact[q] }
+	}
+	for _, layer := range lay.layers {
+		var cnotOps []router.Op
+		if noise.Enabled && noise.CrosstalkFactor > 0 {
+			for _, op := range layer {
+				if op.Gate.IsTwoQubit() {
+					cnotOps = append(cnotOps, op)
+				}
+			}
+		}
+		busy := map[int]bool{}
+		for _, op := range layer {
+			g := op.Gate
+			if g.IsMeasure() || g.IsBarrier() {
+				continue
+			}
+			for _, q := range g.Qubits {
+				busy[q] = true
+			}
+			if err := tb.applyCliffordGate(g, qmapOf(g)); err != nil {
+				return err
+			}
+			if !noise.Enabled {
+				continue
+			}
+			switch {
+			case g.Name == circuit.GateSWAP:
+				errRate := d.CNOTError(g.Qubits[0], g.Qubits[1])
+				if noise.CrosstalkFactor > 0 && cliffordXtalk(d, cnotOps, g) {
+					errRate *= 1 + noise.CrosstalkFactor
+				}
+				for k := 0; k < 3; k++ {
+					if rng.Float64() < errRate {
+						tb.injectPauliT(pick2(lay.compact[g.Qubits[0]], lay.compact[g.Qubits[1]], rng), rng)
+					}
+				}
+			case g.IsTwoQubit():
+				errRate := d.CNOTError(g.Qubits[0], g.Qubits[1])
+				if noise.CrosstalkFactor > 0 && cliffordXtalk(d, cnotOps, g) {
+					errRate *= 1 + noise.CrosstalkFactor
+				}
+				if rng.Float64() < errRate {
+					tb.injectPauliT(pick2(lay.compact[g.Qubits[0]], lay.compact[g.Qubits[1]], rng), rng)
+				}
+			default:
+				if rng.Float64() < d.Gate1Err[g.Qubits[0]] {
+					tb.injectPauliT(lay.compact[g.Qubits[0]], rng)
+				}
+			}
+		}
+		if noise.Enabled && noise.IdleErrPerLayer > 0 {
+			for _, q := range lay.active {
+				if !busy[q] && rng.Float64() < noise.IdleErrPerLayer {
+					tb.decayT(lay.compact[q], rng)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// cliffordXtalk reports whether another 2q op in the layer is adjacent
+// to g's link.
+func cliffordXtalk(d *arch.Device, ops []router.Op, g circuit.Gate) bool {
+	for _, op := range ops {
+		if &op.Gate == &g {
+			continue
+		}
+		if op.Gate.Qubits[0] == g.Qubits[0] && op.Gate.Qubits[1] == g.Qubits[1] {
+			continue
+		}
+		if linksAdjacent(d, op.Gate.Qubits, g.Qubits) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,425 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/graph"
+	"repro/internal/router"
+)
+
+// NoiseModel configures the Monte-Carlo error channels.
+type NoiseModel struct {
+	// Enabled turns all stochastic channels on; when false the
+	// simulation is noiseless (used to find the correct outcome).
+	Enabled bool
+	// IdleErrPerLayer is the per-layer probability that an idle, not
+	// yet measured qubit suffers a decoherence event (reset
+	// trajectory). It models the coherence error that grows when a
+	// short program waits for a long co-located one.
+	IdleErrPerLayer float64
+	// CrosstalkFactor scales up a CNOT's error rate when another CNOT
+	// executes in the same layer on an adjacent link: err *= 1 +
+	// CrosstalkFactor.
+	CrosstalkFactor float64
+	// Readout enables measurement bit-flips with the device's
+	// per-qubit readout error.
+	Readout bool
+	// SerializeCrosstalk applies crosstalk-aware scheduling (Murali et
+	// al., ASPLOS'20 — the paper's [22]): CNOTs on adjacent links are
+	// never executed in the same layer, trading extra depth (and idle
+	// error) for the crosstalk penalty. It changes the layering, not
+	// the gates.
+	SerializeCrosstalk bool
+}
+
+// DefaultNoise returns the noise model used throughout the evaluation.
+func DefaultNoise() NoiseModel {
+	return NoiseModel{
+		Enabled:         true,
+		IdleErrPerLayer: 0.0012,
+		CrosstalkFactor: 0.3,
+		Readout:         true,
+	}
+}
+
+// Outcome reports a simulated workload's per-program results.
+type Outcome struct {
+	// PST[p] is program p's probability of a successful trial.
+	PST []float64
+	// Correct[p] is program p's noiseless modal bitstring (logical
+	// qubit order, logical 0 first).
+	Correct []string
+	// Trials is the number of Monte-Carlo trials run.
+	Trials int
+}
+
+// AvgPST returns the mean PST across programs.
+func (o *Outcome) AvgPST() float64 {
+	if len(o.PST) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range o.PST {
+		sum += p
+	}
+	return sum / float64(len(o.PST))
+}
+
+// layered is the schedule flattened into depth layers; measurements are
+// deferred to the very end (co-located programs cannot be measured until
+// every program's gates have run, §III-C).
+type layered struct {
+	layers   [][]router.Op
+	measures []router.Measurement
+	active   []int       // sorted physical qubits in play
+	compact  map[int]int // phys -> dense index
+}
+
+// layerize builds ASAP layers from the schedule ops over active qubits.
+func layerize(sched *router.Schedule) *layered {
+	activeSet := map[int]bool{}
+	for _, op := range sched.Ops {
+		for _, q := range op.Gate.Qubits {
+			activeSet[q] = true
+		}
+	}
+	for _, m := range sched.Measurements {
+		activeSet[m.Phys] = true
+	}
+	var active []int
+	for q := range activeSet {
+		active = append(active, q)
+	}
+	sort.Ints(active)
+	compact := map[int]int{}
+	for i, q := range active {
+		compact[q] = i
+	}
+
+	level := map[int]int{} // phys -> next free layer
+	var layers [][]router.Op
+	place := func(op router.Op, cost int) {
+		start := 0
+		for _, q := range op.Gate.Qubits {
+			if level[q] > start {
+				start = level[q]
+			}
+		}
+		for len(layers) < start+cost {
+			layers = append(layers, nil)
+		}
+		layers[start] = append(layers[start], op)
+		for _, q := range op.Gate.Qubits {
+			level[q] = start + cost
+		}
+	}
+	for _, op := range sched.Ops {
+		if op.Gate.IsMeasure() {
+			continue // deferred
+		}
+		cost := 1
+		if op.Gate.Name == circuit.GateSWAP {
+			cost = 3
+		}
+		place(op, cost)
+	}
+	return &layered{
+		layers:   layers,
+		measures: sched.Measurements,
+		active:   active,
+		compact:  compact,
+	}
+}
+
+// SimulateSchedule runs the compiled schedule for the given number of
+// noisy trials and returns per-program PSTs. The correct answer per
+// program is its modal bitstring under a noiseless run of the same
+// schedule. progs must be the source programs the schedule was built
+// from (for qubit counts); seed drives all stochastic channels.
+func SimulateSchedule(d *arch.Device, sched *router.Schedule, progs []*circuit.Circuit, trials int, seed int64, noise NoiseModel) (*Outcome, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("sim: trials must be positive, got %d", trials)
+	}
+	lay := layerize(sched)
+	if noise.Enabled && noise.SerializeCrosstalk {
+		lay = serializeCrosstalk(d, lay)
+	}
+	if len(lay.active) > 24 {
+		return nil, fmt.Errorf("sim: %d active qubits exceed the statevector limit", len(lay.active))
+	}
+	// Group measurements per program in logical order.
+	measOf := make([][]router.Measurement, len(progs))
+	for _, m := range lay.measures {
+		if m.Program < 0 || m.Program >= len(progs) {
+			return nil, fmt.Errorf("sim: measurement for unknown program %d", m.Program)
+		}
+		measOf[m.Program] = append(measOf[m.Program], m)
+	}
+	for p := range measOf {
+		sort.Slice(measOf[p], func(i, j int) bool { return measOf[p][i].Logical < measOf[p][j].Logical })
+	}
+
+	// Noiseless reference run fixes the correct outcome.
+	ref := newState(len(lay.active))
+	rngRef := rand.New(rand.NewSource(seed))
+	if err := runTrial(ref, d, lay, NoiseModel{}, rngRef); err != nil {
+		return nil, err
+	}
+	modal := ref.modal()
+	correct := make([]string, len(progs))
+	correctBits := make([][]int, len(progs))
+	for p := range progs {
+		bits := make([]int, len(measOf[p]))
+		buf := make([]byte, len(measOf[p]))
+		for i, m := range measOf[p] {
+			b := (modal >> uint(lay.compact[m.Phys])) & 1
+			bits[i] = b
+			buf[i] = byte('0' + b)
+		}
+		correct[p] = string(buf)
+		correctBits[p] = bits
+	}
+
+	rng := rand.New(rand.NewSource(seed + 0x9e3779b9))
+	succ := make([]int, len(progs))
+	for trial := 0; trial < trials; trial++ {
+		st := newState(len(lay.active))
+		if err := runTrial(st, d, lay, noise, rng); err != nil {
+			return nil, err
+		}
+		for p := range progs {
+			ok := true
+			for i, m := range measOf[p] {
+				b := st.measure(lay.compact[m.Phys], rng)
+				if noise.Enabled && noise.Readout && rng.Float64() < d.ReadoutErr[m.Phys] {
+					b ^= 1
+				}
+				if b != correctBits[p][i] {
+					ok = false
+				}
+			}
+			if ok {
+				succ[p]++
+			}
+		}
+	}
+	out := &Outcome{PST: make([]float64, len(progs)), Correct: correct, Trials: trials}
+	for p := range progs {
+		out.PST[p] = float64(succ[p]) / float64(trials)
+	}
+	return out, nil
+}
+
+// runTrial executes all layers on st (without final measurements),
+// injecting stochastic errors per the noise model.
+func runTrial(st *state, d *arch.Device, lay *layered, noise NoiseModel, rng *rand.Rand) error {
+	for _, layer := range lay.layers {
+		// Count CNOT-layer adjacency for crosstalk.
+		var cnotEdges []graph.Edge
+		if noise.Enabled && noise.CrosstalkFactor > 0 {
+			for _, op := range layer {
+				if op.Gate.IsTwoQubit() {
+					cnotEdges = append(cnotEdges, graph.NewEdge(op.Gate.Qubits[0], op.Gate.Qubits[1]))
+				}
+			}
+		}
+		busy := map[int]bool{}
+		for _, op := range layer {
+			g := op.Gate
+			for _, q := range g.Qubits {
+				busy[q] = true
+			}
+			switch {
+			case g.Name == circuit.GateSWAP:
+				a, b := lay.compact[g.Qubits[0]], lay.compact[g.Qubits[1]]
+				st.applySWAP(a, b)
+				if noise.Enabled {
+					// Three physical CNOTs' worth of error on the link.
+					errRate := d.CNOTError(g.Qubits[0], g.Qubits[1])
+					if noise.CrosstalkFactor > 0 && crosstalkAdjacent(d, cnotEdges, g.Qubits[0], g.Qubits[1]) {
+						errRate *= 1 + noise.CrosstalkFactor
+					}
+					for k := 0; k < 3; k++ {
+						if rng.Float64() < errRate {
+							st.injectPauli(pick2(a, b, rng), rng)
+						}
+					}
+				}
+			case g.Name == circuit.GateCX:
+				c, t := lay.compact[g.Qubits[0]], lay.compact[g.Qubits[1]]
+				st.applyCNOT(c, t)
+				if noise.Enabled {
+					errRate := d.CNOTError(g.Qubits[0], g.Qubits[1])
+					if noise.CrosstalkFactor > 0 && crosstalkAdjacent(d, cnotEdges, g.Qubits[0], g.Qubits[1]) {
+						errRate *= 1 + noise.CrosstalkFactor
+					}
+					if rng.Float64() < errRate {
+						st.injectPauli(pick2(c, t, rng), rng)
+					}
+				}
+			case g.Name == circuit.GateCZ:
+				a, b := lay.compact[g.Qubits[0]], lay.compact[g.Qubits[1]]
+				st.applyCZ(a, b)
+				if noise.Enabled {
+					if rng.Float64() < d.CNOTError(g.Qubits[0], g.Qubits[1]) {
+						st.injectPauli(pick2(a, b, rng), rng)
+					}
+				}
+			case g.IsMeasure() || g.IsBarrier():
+				// Measures are deferred; barriers are no-ops here.
+			default:
+				m, err := gateMatrix(g)
+				if err != nil {
+					return err
+				}
+				q := lay.compact[g.Qubits[0]]
+				st.apply1q(m, q)
+				if noise.Enabled && rng.Float64() < d.Gate1Err[g.Qubits[0]] {
+					st.injectPauli(q, rng)
+				}
+			}
+		}
+		if noise.Enabled && noise.IdleErrPerLayer > 0 {
+			for _, q := range lay.active {
+				if !busy[q] && rng.Float64() < noise.IdleErrPerLayer {
+					st.decay(lay.compact[q], rng)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// crosstalkAdjacent reports whether another CNOT in the same layer acts
+// on a link adjacent to (a,b): sharing a qubit or coupled to one of its
+// endpoints.
+func crosstalkAdjacent(d *arch.Device, layerEdges []graph.Edge, a, b int) bool {
+	self := graph.NewEdge(a, b)
+	for _, e := range layerEdges {
+		if e == self {
+			continue
+		}
+		for _, x := range [2]int{e.U, e.V} {
+			for _, y := range [2]int{a, b} {
+				if x == y || d.Coupling.HasEdge(x, y) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func pick2(a, b int, rng *rand.Rand) int {
+	if rng.Intn(2) == 0 {
+		return a
+	}
+	return b
+}
+
+// serializeCrosstalk splits every layer containing CNOTs on adjacent
+// links into conflict-free sub-layers (greedy graph coloring on the
+// adjacency-conflict graph); non-CNOT ops stay in the first sub-layer.
+func serializeCrosstalk(d *arch.Device, lay *layered) *layered {
+	out := &layered{
+		measures: lay.measures,
+		active:   lay.active,
+		compact:  lay.compact,
+	}
+	for _, layer := range lay.layers {
+		var twoq, rest []router.Op
+		for _, op := range layer {
+			if op.Gate.IsTwoQubit() {
+				twoq = append(twoq, op)
+			} else {
+				rest = append(rest, op)
+			}
+		}
+		if len(twoq) <= 1 {
+			out.layers = append(out.layers, layer)
+			continue
+		}
+		// Greedy coloring: assign each CNOT the first sub-layer where
+		// it conflicts with nothing already placed.
+		var groups [][]router.Op
+		for _, op := range twoq {
+			placed := false
+			for gi := range groups {
+				conflict := false
+				for _, other := range groups[gi] {
+					if linksAdjacent(d, op.Gate.Qubits, other.Gate.Qubits) {
+						conflict = true
+						break
+					}
+				}
+				if !conflict {
+					groups[gi] = append(groups[gi], op)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				groups = append(groups, []router.Op{op})
+			}
+		}
+		first := append(append([]router.Op(nil), rest...), groups[0]...)
+		out.layers = append(out.layers, first)
+		for _, g := range groups[1:] {
+			out.layers = append(out.layers, g)
+		}
+	}
+	return out
+}
+
+// linksAdjacent reports whether two 2-qubit ops act on links that share
+// or couple a qubit (the crosstalk condition).
+func linksAdjacent(d *arch.Device, a, b []int) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y || d.Coupling.HasEdge(x, y) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SimulateIdeal runs a plain circuit (logical qubits, no device) without
+// noise and returns its modal output bitstring over measured qubits (in
+// qubit order) plus that outcome's probability.
+func SimulateIdeal(c *circuit.Circuit) (string, float64, error) {
+	if c.NumQubits > 24 {
+		return "", 0, fmt.Errorf("sim: %d qubits exceed the statevector limit", c.NumQubits)
+	}
+	st := newState(c.NumQubits)
+	for _, g := range c.Gates {
+		switch {
+		case g.IsMeasure() || g.IsBarrier():
+			continue
+		case g.Name == circuit.GateCX:
+			st.applyCNOT(g.Qubits[0], g.Qubits[1])
+		case g.Name == circuit.GateCZ:
+			st.applyCZ(g.Qubits[0], g.Qubits[1])
+		case g.Name == circuit.GateSWAP:
+			st.applySWAP(g.Qubits[0], g.Qubits[1])
+		default:
+			m, err := gateMatrix(g)
+			if err != nil {
+				return "", 0, err
+			}
+			st.apply1q(m, g.Qubits[0])
+		}
+	}
+	modal := st.modal()
+	a := st.amps[modal]
+	prob := real(a)*real(a) + imag(a)*imag(a)
+	buf := make([]byte, c.NumQubits)
+	for q := 0; q < c.NumQubits; q++ {
+		buf[q] = byte('0' + (modal>>uint(q))&1)
+	}
+	return string(buf), prob, nil
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/router"
+)
+
+// MitigatedOutcome extends Outcome with readout-error-mitigated PSTs:
+// the per-program outcome histograms are corrected by inverting the
+// tensored per-qubit readout confusion matrices (the standard
+// measurement-error-mitigation technique; cf. Tannu & Qureshi, the
+// paper's [29]).
+type MitigatedOutcome struct {
+	Outcome
+	// MitigatedPST[p] is program p's PST after readout correction,
+	// clamped to [0, 1].
+	MitigatedPST []float64
+}
+
+// SimulateScheduleMitigated runs the Monte-Carlo simulation like
+// SimulateSchedule and additionally applies tensored readout-error
+// mitigation per program. Programs are limited to 16 measured qubits
+// (the histogram is dense).
+func SimulateScheduleMitigated(d *arch.Device, sched *router.Schedule, progs []*circuit.Circuit, trials int, seed int64, noise NoiseModel) (*MitigatedOutcome, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("sim: trials must be positive, got %d", trials)
+	}
+	lay := layerize(sched)
+	if noise.Enabled && noise.SerializeCrosstalk {
+		lay = serializeCrosstalk(d, lay)
+	}
+	if len(lay.active) > 24 {
+		return nil, fmt.Errorf("sim: %d active qubits exceed the statevector limit", len(lay.active))
+	}
+	measOf := make([][]router.Measurement, len(progs))
+	for _, m := range lay.measures {
+		if m.Program < 0 || m.Program >= len(progs) {
+			return nil, fmt.Errorf("sim: measurement for unknown program %d", m.Program)
+		}
+		measOf[m.Program] = append(measOf[m.Program], m)
+	}
+	for p := range measOf {
+		if len(measOf[p]) > 16 {
+			return nil, fmt.Errorf("sim: program %d measures %d qubits; mitigation supports <= 16", p, len(measOf[p]))
+		}
+		sort.Slice(measOf[p], func(i, j int) bool { return measOf[p][i].Logical < measOf[p][j].Logical })
+	}
+
+	ref := newState(len(lay.active))
+	if err := runTrial(ref, d, lay, NoiseModel{}, rand.New(rand.NewSource(seed))); err != nil {
+		return nil, err
+	}
+	modal := ref.modal()
+	correct := make([]string, len(progs))
+	correctIdx := make([]int, len(progs))
+	for p := range progs {
+		buf := make([]byte, len(measOf[p]))
+		idx := 0
+		for i, m := range measOf[p] {
+			b := (modal >> uint(lay.compact[m.Phys])) & 1
+			buf[i] = byte('0' + b)
+			idx |= b << uint(i)
+		}
+		correct[p] = string(buf)
+		correctIdx[p] = idx
+	}
+
+	counts := make([][]float64, len(progs))
+	for p := range progs {
+		counts[p] = make([]float64, 1<<uint(len(measOf[p])))
+	}
+	rng := rand.New(rand.NewSource(seed + 0x9e3779b9))
+	succ := make([]int, len(progs))
+	for trial := 0; trial < trials; trial++ {
+		st := newState(len(lay.active))
+		if err := runTrial(st, d, lay, noise, rng); err != nil {
+			return nil, err
+		}
+		for p := range progs {
+			idx := 0
+			for i, m := range measOf[p] {
+				b := st.measure(lay.compact[m.Phys], rng)
+				if noise.Enabled && noise.Readout && rng.Float64() < d.ReadoutErr[m.Phys] {
+					b ^= 1
+				}
+				idx |= b << uint(i)
+			}
+			counts[p][idx]++
+			if idx == correctIdx[p] {
+				succ[p]++
+			}
+		}
+	}
+
+	out := &MitigatedOutcome{
+		Outcome: Outcome{
+			PST:     make([]float64, len(progs)),
+			Correct: correct,
+			Trials:  trials,
+		},
+		MitigatedPST: make([]float64, len(progs)),
+	}
+	for p := range progs {
+		out.PST[p] = float64(succ[p]) / float64(trials)
+		freq := make([]float64, len(counts[p]))
+		for i, c := range counts[p] {
+			freq[i] = c / float64(trials)
+		}
+		eps := make([]float64, len(measOf[p]))
+		for i, m := range measOf[p] {
+			if noise.Enabled && noise.Readout {
+				eps[i] = d.ReadoutErr[m.Phys]
+			}
+		}
+		mitigated := invertReadout(freq, eps)
+		v := mitigated[correctIdx[p]]
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		out.MitigatedPST[p] = v
+	}
+	return out, nil
+}
+
+// invertReadout applies the tensored inverse confusion transform to a
+// dense outcome distribution: for each qubit i with flip probability
+// eps[i], the pairwise [p(bit=0), p(bit=1)] marginals are multiplied by
+// A^-1 = 1/(1-2e) * [[1-e, -e], [-e, 1-e]]. eps values of 0.5 (singular
+// matrix) leave that qubit uncorrected.
+func invertReadout(freq []float64, eps []float64) []float64 {
+	out := append([]float64(nil), freq...)
+	for i, e := range eps {
+		if e == 0 {
+			continue
+		}
+		den := 1 - 2*e
+		if den <= 1e-9 {
+			continue // singular or anti-correlated: skip correction
+		}
+		a, b := (1-e)/den, -e/den
+		bit := 1 << uint(i)
+		for idx := range out {
+			if idx&bit == 0 {
+				p0, p1 := out[idx], out[idx|bit]
+				out[idx] = a*p0 + b*p1
+				out[idx|bit] = b*p0 + a*p1
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// ptab is the bit-packed counterpart of tableau: each Pauli row stores
+// its x/z bits in 64-bit words, so gate updates and row products run
+// word-parallel (~64 qubits per operation). It is the production
+// backend behind SimulateScheduleClifford; the boolean tableau remains
+// as the cross-validation reference.
+type ptab struct {
+	n     int
+	words int
+	x, z  [][]uint64
+	r     []bool
+}
+
+func newPtab(n int) *ptab {
+	w := (n + 63) / 64
+	t := &ptab{
+		n:     n,
+		words: w,
+		x:     make([][]uint64, 2*n),
+		z:     make([][]uint64, 2*n),
+		r:     make([]bool, 2*n),
+	}
+	for i := 0; i < 2*n; i++ {
+		t.x[i] = make([]uint64, w)
+		t.z[i] = make([]uint64, w)
+	}
+	for q := 0; q < n; q++ {
+		t.x[q][q>>6] |= 1 << uint(q&63)
+		t.z[n+q][q>>6] |= 1 << uint(q&63)
+	}
+	return t
+}
+
+func (t *ptab) getx(i, q int) bool { return t.x[i][q>>6]&(1<<uint(q&63)) != 0 }
+func (t *ptab) getz(i, q int) bool { return t.z[i][q>>6]&(1<<uint(q&63)) != 0 }
+
+// h applies a Hadamard to qubit q.
+func (t *ptab) h(q int) {
+	w, b := q>>6, uint64(1)<<uint(q&63)
+	for i := 0; i < 2*t.n; i++ {
+		xi, zi := t.x[i][w]&b, t.z[i][w]&b
+		if xi != 0 && zi != 0 {
+			t.r[i] = !t.r[i]
+		}
+		if (xi != 0) != (zi != 0) {
+			t.x[i][w] ^= b
+			t.z[i][w] ^= b
+		}
+	}
+}
+
+// s applies the phase gate to qubit q.
+func (t *ptab) s(q int) {
+	w, b := q>>6, uint64(1)<<uint(q&63)
+	for i := 0; i < 2*t.n; i++ {
+		xi, zi := t.x[i][w]&b, t.z[i][w]&b
+		if xi != 0 && zi != 0 {
+			t.r[i] = !t.r[i]
+		}
+		if xi != 0 {
+			t.z[i][w] ^= b
+		}
+	}
+}
+
+func (t *ptab) sdg(q int) { t.s(q); t.s(q); t.s(q) }
+
+// cx applies a CNOT with control c and target tq.
+func (t *ptab) cx(c, tq int) {
+	cw, cb := c>>6, uint64(1)<<uint(c&63)
+	tw, tb := tq>>6, uint64(1)<<uint(tq&63)
+	for i := 0; i < 2*t.n; i++ {
+		xc := t.x[i][cw]&cb != 0
+		zt := t.z[i][tw]&tb != 0
+		xt := t.x[i][tw]&tb != 0
+		zc := t.z[i][cw]&cb != 0
+		if xc && zt && (xt == zc) {
+			t.r[i] = !t.r[i]
+		}
+		if xc {
+			t.x[i][tw] ^= tb
+		}
+		if t.z[i][tw]&tb != 0 {
+			t.z[i][cw] ^= cb
+		}
+	}
+}
+
+func (t *ptab) xg(q int) { t.h(q); t.zg(q); t.h(q) }
+func (t *ptab) zg(q int) { t.s(q); t.s(q) }
+func (t *ptab) yg(q int) { t.zg(q); t.xg(q) }
+func (t *ptab) cz(a, b int) {
+	t.h(b)
+	t.cx(a, b)
+	t.h(b)
+}
+func (t *ptab) swap(a, b int) { t.cx(a, b); t.cx(b, a); t.cx(a, b) }
+
+// phaseOf returns the i-power exponent (mod 4, as 0 or ±popcount
+// difference) accumulated when multiplying Pauli row (x1,z1) into
+// (x2,z2), using the word-parallel {X,Y,Z} cycle formula.
+func phaseOf(x1, z1, x2, z2 []uint64) int {
+	plus, minus := 0, 0
+	for w := range x1 {
+		a, b, c, d := x1[w], z1[w], x2[w], z2[w]
+		X1, Y1, Z1 := a&^b, a&b, b&^a
+		X2, Y2, Z2 := c&^d, c&d, d&^c
+		plus += bits.OnesCount64(X1&Y2 | Y1&Z2 | Z1&X2)
+		minus += bits.OnesCount64(Y1&X2 | Z1&Y2 | X1&Z2)
+	}
+	return plus - minus
+}
+
+// rowsum multiplies row i into row h.
+func (t *ptab) rowsum(h, i int) {
+	sum := 2*b2i(t.r[h]) + 2*b2i(t.r[i]) + phaseOf(t.x[i], t.z[i], t.x[h], t.z[h])
+	sum = ((sum % 4) + 4) % 4
+	t.r[h] = sum == 2
+	for w := 0; w < t.words; w++ {
+		t.x[h][w] ^= t.x[i][w]
+		t.z[h][w] ^= t.z[i][w]
+	}
+}
+
+// measure performs a Z-basis measurement of qubit q; pick resolves
+// random outcomes.
+func (t *ptab) measure(q int, pick func() bool) int {
+	n := t.n
+	p := -1
+	for i := n; i < 2*n; i++ {
+		if t.getx(i, q) {
+			p = i
+			break
+		}
+	}
+	if p >= 0 {
+		for i := 0; i < 2*n; i++ {
+			if i != p && t.getx(i, q) {
+				t.rowsum(i, p)
+			}
+		}
+		copy(t.x[p-n], t.x[p])
+		copy(t.z[p-n], t.z[p])
+		t.r[p-n] = t.r[p]
+		for w := 0; w < t.words; w++ {
+			t.x[p][w] = 0
+			t.z[p][w] = 0
+		}
+		t.z[p][q>>6] |= 1 << uint(q&63)
+		outcome := pick()
+		t.r[p] = outcome
+		return b2i(outcome)
+	}
+	// Deterministic: accumulate stabilizer rows into a scratch row.
+	sx := make([]uint64, t.words)
+	sz := make([]uint64, t.words)
+	sr := false
+	for i := 0; i < n; i++ {
+		if t.getx(i, q) {
+			sum := 2*b2i(sr) + 2*b2i(t.r[i+n]) + phaseOf(t.x[i+n], t.z[i+n], sx, sz)
+			sum = ((sum % 4) + 4) % 4
+			sr = sum == 2
+			for w := 0; w < t.words; w++ {
+				sx[w] ^= t.x[i+n][w]
+				sz[w] ^= t.z[i+n][w]
+			}
+		}
+	}
+	return b2i(sr)
+}
+
+// applyCliffordGate applies a named Clifford gate (same contract as the
+// boolean tableau's method).
+func (t *ptab) applyCliffordGate(g circuit.Gate, qmap func(int) int) error {
+	q := func(i int) int { return qmap(g.Qubits[i]) }
+	switch g.Name {
+	case circuit.GateH:
+		t.h(q(0))
+	case circuit.GateX:
+		t.xg(q(0))
+	case circuit.GateY:
+		t.yg(q(0))
+	case circuit.GateZ:
+		t.zg(q(0))
+	case circuit.GateS:
+		t.s(q(0))
+	case circuit.GateSdg:
+		t.sdg(q(0))
+	case circuit.GateCX:
+		t.cx(q(0), q(1))
+	case circuit.GateCZ:
+		t.cz(q(0), q(1))
+	case circuit.GateSWAP:
+		t.swap(q(0), q(1))
+	default:
+		return errNotClifford(g.Name)
+	}
+	return nil
+}
+
+func errNotClifford(name string) error {
+	return &notCliffordError{name}
+}
+
+type notCliffordError struct{ gate string }
+
+func (e *notCliffordError) Error() string { return "sim: gate " + e.gate + " is not Clifford" }
+
+func (t *ptab) injectPauliT(q int, rng *rand.Rand) {
+	switch rng.Intn(3) {
+	case 0:
+		t.xg(q)
+	case 1:
+		t.yg(q)
+	default:
+		t.zg(q)
+	}
+}
+
+func (t *ptab) decayT(q int, rng *rand.Rand) {
+	if t.measure(q, func() bool { return rng.Intn(2) == 1 }) == 1 {
+		t.xg(q)
+	}
+}

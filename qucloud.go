@@ -1,0 +1,57 @@
+// Package qucloud is a Go reproduction of "QuCloud: A New Qubit Mapping
+// Mechanism for Multi-programming Quantum Computing in Cloud
+// Environment" (Liu & Dou, HPCA 2021). It maps multiple quantum
+// programs onto one NISQ chip at once:
+//
+//   - CDAP partitions the chip's physical qubits among programs using an
+//     error-aware community-detection hierarchy tree.
+//   - X-SWAP routes all co-located programs jointly, allowing
+//     inter-program SWAPs and prioritizing critical gates.
+//   - An EPST-based scheduler batches queued jobs for multi-programming
+//     only when the estimated fidelity loss stays under a threshold.
+//
+// This package is the public facade over internal/core (the compiler
+// pipeline) plus the experiment drivers that regenerate every table and
+// figure of the paper's evaluation. Typical use:
+//
+//	d := arch.IBMQ16(0)                    // a chip + calibration day
+//	comp := qucloud.NewCompiler(d)
+//	res, err := comp.Compile(progs, qucloud.CDAPXSwap)
+//	psts, err := comp.Simulate(res, 8024, seed, sim.DefaultNoise())
+package qucloud
+
+import (
+	"repro/internal/arch"
+	"repro/internal/core"
+)
+
+// Strategy selects a compilation policy; see the constants below.
+type Strategy = core.Strategy
+
+// The six strategies of the paper's evaluation.
+const (
+	// Separate compiles and runs each program alone on the whole chip.
+	Separate = core.Separate
+	// SABRE merges all programs into one circuit compiled with plain SABRE.
+	SABRE = core.SABRE
+	// Baseline is FRP partitioning + noise-aware SABRE (Das et al.).
+	Baseline = core.Baseline
+	// CDAPXSwap is QuCloud: CDAP partitioning + X-SWAP routing.
+	CDAPXSwap = core.CDAPXSwap
+	// CDAPOnly ablates X-SWAP from QuCloud.
+	CDAPOnly = core.CDAPOnly
+	// XSwapOnly ablates CDAP from QuCloud.
+	XSwapOnly = core.XSwapOnly
+)
+
+// Strategies lists all strategies in the paper's table order.
+var Strategies = core.Strategies
+
+// Compiler compiles multi-program workloads onto a device.
+type Compiler = core.Compiler
+
+// Result is a compiled workload.
+type Result = core.Result
+
+// NewCompiler returns a Compiler with the paper's defaults for the device.
+func NewCompiler(d *arch.Device) *Compiler { return core.NewCompiler(d) }
