@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench cover experiments examples clean
+.PHONY: all build vet test race bench cover experiments examples clean
 
-all: build vet test
+all: build test
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,16 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+# The default test path runs vet first, then the full suite, then the
+# race detector over the concurrent packages (the service, its
+# scheduler dependencies, and the daemon).
+test: vet
 	$(GO) test ./...
+	$(GO) test -race ./internal/service/... ./internal/sched/... ./internal/cloudsim/... ./cmd/qucloudd/...
+
+# Full race-detector sweep over every package (slow).
+race:
+	$(GO) test -race ./...
 
 # Short test run (skips the large-chip stress cases).
 test-short:

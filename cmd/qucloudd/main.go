@@ -1,0 +1,317 @@
+// Command qucloudd runs the QuCloud compilation service: a
+// long-running daemon that accepts QASM jobs over HTTP, batches them
+// with the EPST scheduler, compiles them with the QuCloud pipeline,
+// and executes them on the noisy simulator.
+//
+// Serve (default mode):
+//
+//	qucloudd -addr :8080 -backends ibmq16,tokyo -policy static -eps 0.15
+//
+// Load generator — replay an internal/nisqbench workload against a
+// running daemon and report end-to-end throughput and latency:
+//
+//	qucloudd loadgen -addr http://127.0.0.1:8080 -n 40 -class tiny
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/nisqbench"
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	log.SetPrefix("qucloudd: ")
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "loadgen" {
+		if err := runLoadgen(args[1:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := runServe(args); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseBackends resolves a comma-separated device list (e.g.
+// "ibmq16,tokyo") into arch devices with the given calibration seed.
+func parseBackends(spec string, seed int64) ([]*arch.Device, error) {
+	var out []*arch.Device
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		d, err := arch.ByName(name, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no backends in %q (try %s)", spec, strings.Join(arch.StandardDevices(), ","))
+	}
+	return out, nil
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("qucloudd", flag.ExitOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "HTTP listen address")
+		backends     = fs.String("backends", "ibmq16,tokyo", "comma-separated backend chips ("+strings.Join(arch.StandardDevices(), ",")+")")
+		calSeed      = fs.Int64("cal-seed", 0, "calibration seed for the backends")
+		policy       = fs.String("policy", "static", "epsilon policy: static or adaptive")
+		eps          = fs.Float64("eps", 0.15, "(initial) EPST violation threshold")
+		queueSize    = fs.Int("queue", 256, "bounded queue capacity (429 when full)")
+		trials       = fs.Int("trials", 512, "Monte-Carlo trials per batch")
+		attempts     = fs.Int("attempts", 1, "compiler best-of-N attempts")
+		lookahead    = fs.Int("lookahead", 10, "scheduler lookahead N")
+		maxColocate  = fs.Int("max-colocate", 3, "max programs per batch")
+		seed         = fs.Int64("seed", 1, "simulation seed base")
+		reqTimeout   = fs.Duration("request-timeout", 30*time.Second, "per-request HTTP timeout")
+		drainTimeout = fs.Duration("drain-timeout", 60*time.Second, "max time to drain the queue on SIGINT/SIGTERM")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	devices, err := parseBackends(*backends, *calSeed)
+	if err != nil {
+		return err
+	}
+	cfg := service.DefaultConfig()
+	cfg.Policy = service.Policy(*policy)
+	cfg.Epsilon = *eps
+	cfg.QueueSize = *queueSize
+	cfg.Trials = *trials
+	cfg.Attempts = *attempts
+	cfg.Lookahead = *lookahead
+	cfg.MaxColocate = *maxColocate
+	cfg.Seed = *seed
+	cfg.RequestTimeout = *reqTimeout
+	svc, err := service.New(devices, cfg)
+	if err != nil {
+		return err
+	}
+	svc.Metrics().PublishExpvar()
+	svc.Start()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving %d backends on %s (policy=%s eps=%.3f queue=%d)",
+			len(devices), *addr, cfg.Policy, cfg.Epsilon, cfg.QueueSize)
+		if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("signal received: draining queue (up to %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Shutdown(drainCtx); err != nil {
+		log.Printf("forced shutdown: %v", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := server.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	snap := svc.Metrics().Snapshot()
+	log.Printf("drained: %d completed, %d failed, %d batches (avg size %.2f)",
+		snap.Jobs.Completed, snap.Jobs.Failed, snap.Batches.Executed, snap.Batches.AvgSize)
+	return nil
+}
+
+// pickBenchmarks selects the loadgen circuit mix: an explicit
+// comma-separated -bench list, or every benchmark of the -class.
+func pickBenchmarks(benchList, class string) ([]*circuit.Circuit, error) {
+	var names []string
+	if benchList != "" {
+		for _, n := range strings.Split(benchList, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	} else {
+		var sc nisqbench.SizeClass
+		switch class {
+		case "tiny":
+			sc = nisqbench.Tiny
+		case "small":
+			sc = nisqbench.Small
+		case "large":
+			sc = nisqbench.Large
+		default:
+			return nil, fmt.Errorf("unknown class %q (tiny, small, large)", class)
+		}
+		names = nisqbench.ByClass(sc)
+	}
+	var circs []*circuit.Circuit
+	for _, n := range names {
+		c, err := nisqbench.Get(n)
+		if err != nil {
+			return nil, err
+		}
+		circs = append(circs, c)
+	}
+	if len(circs) == 0 {
+		return nil, fmt.Errorf("no benchmarks selected")
+	}
+	return circs, nil
+}
+
+func runLoadgen(args []string) error {
+	fs := flag.NewFlagSet("qucloudd loadgen", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+		n       = fs.Int("n", 40, "jobs to submit")
+		class   = fs.String("class", "tiny", "benchmark class: tiny, small, large")
+		bench   = fs.String("bench", "", "explicit comma-separated benchmark names (overrides -class)")
+		meanGap = fs.Duration("mean-gap", 100*time.Millisecond, "mean inter-arrival gap (exponential)")
+		seed    = fs.Int64("seed", 2026, "arrival-stream seed")
+		timeout = fs.Duration("timeout", 5*time.Minute, "max time to wait for all jobs to finish")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	circs, err := pickBenchmarks(*bench, *class)
+	if err != nil {
+		return err
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	base := strings.TrimRight(*addr, "/")
+	rng := rand.New(rand.NewSource(*seed))
+	var ids []string
+	rejected := 0
+	start := time.Now()
+	for i := 0; i < *n; i++ {
+		c := circs[i%len(circs)]
+		body, _ := json.Marshal(service.SubmitRequest{Name: c.Name, QASM: circuit.QASMString(c)})
+		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("submit %d: %w", i, err)
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var rec service.JobRecord
+			if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+				resp.Body.Close()
+				return fmt.Errorf("submit %d: decode: %w", i, err)
+			}
+			ids = append(ids, rec.ID)
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			b := new(bytes.Buffer)
+			_, _ = b.ReadFrom(resp.Body)
+			resp.Body.Close()
+			return fmt.Errorf("submit %d: HTTP %d: %s", i, resp.StatusCode, strings.TrimSpace(b.String()))
+		}
+		resp.Body.Close()
+		if gap := time.Duration(rng.ExpFloat64() * float64(*meanGap)); gap > 0 && i+1 < *n {
+			time.Sleep(gap)
+		}
+	}
+	submitted := len(ids)
+	fmt.Printf("submitted %d jobs (%d rejected with 429) in %.1fs\n",
+		submitted, rejected, time.Since(start).Seconds())
+
+	// Poll until every accepted job reaches a terminal state.
+	deadline := time.Now().Add(*timeout)
+	records := make(map[string]service.JobRecord, submitted)
+	for len(records) < submitted {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timeout: %d/%d jobs finished", len(records), submitted)
+		}
+		for _, id := range ids {
+			if _, done := records[id]; done {
+				continue
+			}
+			resp, err := client.Get(base + "/v1/jobs/" + id)
+			if err != nil {
+				return fmt.Errorf("poll %s: %w", id, err)
+			}
+			var rec service.JobRecord
+			err = json.NewDecoder(resp.Body).Decode(&rec)
+			resp.Body.Close()
+			if err != nil {
+				return fmt.Errorf("poll %s: decode: %w", id, err)
+			}
+			if rec.State.Terminal() {
+				records[id] = rec
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+
+	done, failed := 0, 0
+	var waitSum, svcSum, pstSum float64
+	for _, rec := range records {
+		if rec.State == service.StateDone {
+			done++
+			pstSum += rec.PST
+		} else {
+			failed++
+		}
+		waitSum += rec.WaitSeconds
+		svcSum += rec.ServiceSeconds
+	}
+	fmt.Printf("finished in %.1fs: %d done, %d failed (%.1f jobs/min)\n",
+		elapsed.Seconds(), done, failed, float64(done+failed)/elapsed.Minutes())
+	if submitted > 0 {
+		fmt.Printf("avg wait %.2fs, avg service %.2fs", waitSum/float64(submitted), svcSum/float64(submitted))
+		if done > 0 {
+			fmt.Printf(", avg PST %.3f", pstSum/float64(done))
+		}
+		fmt.Println()
+	}
+
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	var snap service.MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("metrics: decode: %w", err)
+	}
+	fmt.Printf("daemon: %d batches, avg size %.2f, co-location rate %.0f%%, queue p99 %.2fs, total p99 %.2fs\n",
+		snap.Batches.Executed, snap.Batches.AvgSize, snap.Batches.ColocationRate*100,
+		snap.LatencySeconds.Queue.P99, snap.LatencySeconds.Total.P99)
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseBackends(t *testing.T) {
+	devs, err := parseBackends("london, ibmq16", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devs) != 2 || devs[0].Name == devs[1].Name {
+		t.Fatalf("unexpected devices: %v", devs)
+	}
+	if devs[0].NumQubits() != 5 || devs[1].NumQubits() <= devs[0].NumQubits() {
+		t.Fatalf("unexpected sizes: %d, %d", devs[0].NumQubits(), devs[1].NumQubits())
+	}
+	if _, err := parseBackends("nosuchchip", 0); err == nil {
+		t.Fatal("expected error for unknown chip")
+	}
+	if _, err := parseBackends(" , ", 0); err == nil {
+		t.Fatal("expected error for empty backend list")
+	}
+}
+
+func TestPickBenchmarks(t *testing.T) {
+	circs, err := pickBenchmarks("bv_n3,toffoli_3", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(circs) != 2 {
+		t.Fatalf("got %d circuits", len(circs))
+	}
+	tiny, err := pickBenchmarks("", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiny) == 0 {
+		t.Fatal("tiny class is empty")
+	}
+	for _, c := range tiny {
+		if c.NumQubits == 0 {
+			t.Fatalf("benchmark %q has no qubits", c.Name)
+		}
+	}
+	if _, err := pickBenchmarks("", "nosuchclass"); err == nil {
+		t.Fatal("expected error for unknown class")
+	}
+	if _, err := pickBenchmarks("nosuchbench", ""); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}

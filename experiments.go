@@ -2,6 +2,7 @@ package qucloud
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"time"
@@ -254,7 +255,7 @@ func RunFig14(calSeed int64, epsilons []float64, trials int) ([]Fig14Point, erro
 	}
 	points = append(points, Fig14Point{Label: "Separate", Epsilon: -1, AvgPST: sepPST, TRF: sched.TRF(len(jobs), sepBatches)})
 
-	randBatches := sched.RandomPairs(jobs, calSeed+5)
+	randBatches := sched.RandomPairsRand(jobs, rand.New(rand.NewSource(calSeed+5)))
 	randPST, err := runBatches(d, jobs, randBatches, trials)
 	if err != nil {
 		return nil, err

@@ -18,14 +18,6 @@ import (
 	"repro/internal/sched"
 )
 
-// Job is one submitted quantum program.
-type Job struct {
-	ID   int
-	Circ *circuit.Circuit
-	// Arrival is the submission time in seconds from simulation start.
-	Arrival float64
-}
-
 // Policy selects how the backend batches queued jobs.
 type Policy int
 
@@ -84,18 +76,6 @@ func DefaultConfig() Config {
 		ShotOverheadSeconds: 1e-3,
 		CompileSeconds:      2,
 	}
-}
-
-// BatchRecord describes one executed batch.
-type BatchRecord struct {
-	JobIDs   []int
-	Start    float64
-	Finish   float64
-	Depth    int
-	CNOTs    int
-	Strategy core.Strategy
-	// QubitsUsed is the number of physical qubits the batch occupied.
-	QubitsUsed int
 }
 
 // Metrics aggregates the simulation outcome.
@@ -237,7 +217,7 @@ func pickBatch(d *arch.Device, arrived []Job, cfg Config) []Job {
 	case QuCloud:
 		sjobs := make([]sched.Job, len(arrived))
 		for i, j := range arrived {
-			sjobs[i] = sched.Job{ID: j.ID, Circ: j.Circ}
+			sjobs[i] = j.SchedJob()
 		}
 		scfg := sched.DefaultConfig()
 		scfg.Epsilon = cfg.Epsilon

@@ -1,0 +1,46 @@
+package cloudsim
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// Job is one submitted quantum program. It is the single job shape
+// shared by the offline simulators in this package and the live
+// service in internal/service: the service stores a Job per submission
+// (ID is the service-assigned sequence number, Arrival the submission
+// time in seconds since service start) and persists ID and Arrival in
+// the client-visible job record alongside its own lifecycle fields.
+type Job struct {
+	ID   int
+	Circ *circuit.Circuit
+	// Arrival is the submission time in seconds from simulation (or
+	// service) start.
+	Arrival float64
+}
+
+// SchedJob projects the job onto the EPST scheduler's queue-item
+// shape, so every consumer (cloudsim policies, the live service)
+// feeds sched.Schedule identically.
+func (j Job) SchedJob() sched.Job {
+	return sched.Job{ID: j.ID, Circ: j.Circ}
+}
+
+// BatchRecord describes one executed batch. internal/service reuses
+// this type verbatim for its per-backend batch traces and persists
+// every field: JobIDs (the Job.IDs co-located in the batch), Start and
+// Finish (seconds since service start), the post-compilation Depth and
+// CNOTs, the compilation Strategy, and QubitsUsed (the number of
+// physical qubits the batch occupied).
+// The JSON tags match the service API's snake_case field convention.
+type BatchRecord struct {
+	JobIDs   []int         `json:"job_ids"`
+	Start    float64       `json:"start"`
+	Finish   float64       `json:"finish"`
+	Depth    int           `json:"depth"`
+	CNOTs    int           `json:"cnots"`
+	Strategy core.Strategy `json:"strategy"`
+	// QubitsUsed is the number of physical qubits the batch occupied.
+	QubitsUsed int `json:"qubits_used"`
+}

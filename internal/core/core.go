@@ -7,6 +7,7 @@
 package core
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 
@@ -62,6 +63,33 @@ func (s Strategy) String() string {
 		return "X-SWAP-only"
 	}
 	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// MarshalJSON renders the strategy by name, so API payloads that embed
+// compiled-batch records stay readable.
+func (s Strategy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON accepts either a strategy name (as MarshalJSON emits)
+// or the numeric constant.
+func (s *Strategy) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err == nil {
+		for _, cand := range Strategies {
+			if cand.String() == name {
+				*s = cand
+				return nil
+			}
+		}
+		return fmt.Errorf("qucloud: unknown strategy %q", name)
+	}
+	var n int
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*s = Strategy(n)
+	return nil
 }
 
 // Compiler compiles multi-program workloads onto a device.

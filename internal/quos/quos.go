@@ -54,6 +54,43 @@ func DefaultConfig() Config {
 	}
 }
 
+// Controller is the epsilon-adaptation rule of the QuOS runtime,
+// factored out of Run so that long-running services (internal/service)
+// can feed it live batch observations. A Controller is not safe for
+// concurrent use; give each backend worker its own.
+type Controller struct {
+	cfg Config
+	eps float64
+}
+
+// NewController returns a controller seeded at cfg.InitialEpsilon.
+func NewController(cfg Config) *Controller {
+	return &Controller{cfg: cfg, eps: cfg.InitialEpsilon}
+}
+
+// Epsilon is the current co-location threshold to schedule with.
+func (c *Controller) Epsilon() float64 { return c.eps }
+
+// Observe feeds one executed batch: whether it co-located programs,
+// the achieved average PST, and the separate-execution estimate. It
+// adapts epsilon (back off fast on violation, probe slowly on success)
+// and reports whether the batch violated the fidelity target.
+func (c *Controller) Observe(colocated bool, avgPST, separateEstimate float64) bool {
+	violated := colocated && avgPST < separateEstimate*(1-c.cfg.Target)
+	if violated {
+		c.eps /= 1 + c.cfg.Step
+		if c.eps < c.cfg.MinEpsilon {
+			c.eps = c.cfg.MinEpsilon
+		}
+	} else if colocated {
+		c.eps *= 1 + c.cfg.Step/2
+		if c.eps > c.cfg.MaxEpsilon {
+			c.eps = c.cfg.MaxEpsilon
+		}
+	}
+	return violated
+}
+
 // BatchReport records one executed batch and the controller state.
 type BatchReport struct {
 	JobIDs []int
@@ -77,6 +114,26 @@ type Result struct {
 	FinalEpsilon float64
 }
 
+// SeparateEstimate is the expectation had the jobs run alone: each
+// program's PST estimated analytically (ESP) from a separate
+// compilation, averaged over the programs. Long-running services use
+// it as the reference the Controller compares achieved fidelity to.
+func SeparateEstimate(comp *core.Compiler, progs []*circuit.Circuit, noise sim.NoiseModel) (float64, error) {
+	sepRes, err := comp.Compile(progs, core.Separate)
+	if err != nil {
+		return 0, err
+	}
+	est := 0.0
+	for i := range progs {
+		esp, err := sim.AnalyticESP(comp.Device, sepRes.Schedules[i], 1, noise.IdleErrPerLayer)
+		if err != nil {
+			return 0, err
+		}
+		est += esp.PerProgram[0]
+	}
+	return est / float64(len(progs)), nil
+}
+
 // Run processes the queue adaptively: schedule the next batch with the
 // current epsilon, compile and "execute" it (Monte-Carlo simulation
 // stands in for hardware), compare the observed fidelity against the
@@ -88,7 +145,7 @@ func Run(d *arch.Device, jobs []sched.Job, cfg Config, seed int64) (*Result, err
 	if len(jobs) == 0 {
 		return &Result{FinalEpsilon: cfg.InitialEpsilon}, nil
 	}
-	eps := cfg.InitialEpsilon
+	ctrl := NewController(cfg)
 	queue := append([]sched.Job(nil), jobs...)
 	comp := core.NewCompiler(d)
 	comp.Attempts = 2
@@ -101,7 +158,7 @@ func Run(d *arch.Device, jobs []sched.Job, cfg Config, seed int64) (*Result, err
 	)
 	for len(queue) > 0 {
 		scfg := sched.DefaultConfig()
-		scfg.Epsilon = eps
+		scfg.Epsilon = ctrl.Epsilon()
 		scfg.Lookahead = cfg.Lookahead
 		scfg.MaxColocate = cfg.MaxColocate
 		if d.NumQubits() > 20 {
@@ -143,39 +200,17 @@ func Run(d *arch.Device, jobs []sched.Job, cfg Config, seed int64) (*Result, err
 		}
 		avg /= float64(len(psts))
 
-		// Expectation if the jobs had run alone: their separate PSTs
-		// estimated analytically from a separate compilation's ESP.
-		sepRes, err := comp.Compile(progs, core.Separate)
+		sepEst, err := SeparateEstimate(comp, progs, noise)
 		if err != nil {
 			return nil, err
 		}
-		sepEst := 0.0
-		for i := range progs {
-			esp, err := sim.AnalyticESP(d, sepRes.Schedules[i], 1, noise.IdleErrPerLayer)
-			if err != nil {
-				return nil, err
-			}
-			sepEst += esp.PerProgram[0]
-		}
-		sepEst /= float64(len(progs))
 
-		violated := len(progs) > 1 && avg < sepEst*(1-cfg.Target)
-		if violated {
-			eps /= 1 + cfg.Step
-			if eps < cfg.MinEpsilon {
-				eps = cfg.MinEpsilon
-			}
-		} else if len(progs) > 1 {
-			eps *= 1 + cfg.Step/2
-			if eps > cfg.MaxEpsilon {
-				eps = cfg.MaxEpsilon
-			}
-		}
+		violated := ctrl.Observe(len(progs) > 1, avg, sepEst)
 		reports = append(reports, BatchReport{
 			JobIDs:           batch.JobIDs,
 			AvgPST:           avg,
 			SeparateEstimate: sepEst,
-			EpsilonAfter:     eps,
+			EpsilonAfter:     ctrl.Epsilon(),
 			Violated:         violated,
 		})
 
@@ -193,7 +228,7 @@ func Run(d *arch.Device, jobs []sched.Job, cfg Config, seed int64) (*Result, err
 	}
 	out := &Result{
 		Reports:      reports,
-		FinalEpsilon: eps,
+		FinalEpsilon: ctrl.Epsilon(),
 		TRF:          float64(len(jobs)) / float64(len(reports)),
 	}
 	if pstCount > 0 {

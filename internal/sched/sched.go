@@ -109,6 +109,10 @@ func ColocatedEPST(d *arch.Device, tree *community.Tree, progs []*circuit.Circui
 // in submission order. Jobs that cannot be co-located within the
 // violation threshold run separately. An error is returned only when a
 // job cannot be placed at all (more qubits than the chip has).
+//
+// Schedule is deterministic (it draws no randomness) and safe to call
+// from concurrent goroutines as long as each call uses its own queue
+// slice; the device and circuits are only read.
 func Schedule(d *arch.Device, jobs []Job, cfg Config) ([]Batch, error) {
 	if cfg.Lookahead <= 0 {
 		cfg.Lookahead = 10
@@ -201,9 +205,19 @@ func TRF(numJobs int, batches []Batch) float64 {
 
 // RandomPairs is the random-workload baseline of §V-B3: it shuffles the
 // queue with the given seed and pairs consecutive jobs unconditionally
-// (the last job runs alone when the count is odd).
+// (the last job runs alone when the count is odd). It is a convenience
+// wrapper over RandomPairsRand.
 func RandomPairs(jobs []Job, seed int64) []Batch {
-	rng := rand.New(rand.NewSource(seed))
+	return RandomPairsRand(jobs, rand.New(rand.NewSource(seed)))
+}
+
+// RandomPairsRand is RandomPairs with a caller-supplied random source.
+// Concurrent schedulers (e.g. one worker goroutine per backend in
+// internal/service) must each own their *rand.Rand: nothing in this
+// package touches the global math/rand state, so schedules stay
+// deterministic and race-free as long as each worker threads its own
+// rng through.
+func RandomPairsRand(jobs []Job, rng *rand.Rand) []Batch {
 	order := rng.Perm(len(jobs))
 	var batches []Batch
 	for i := 0; i < len(order); i += 2 {

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// maxQASMBytes bounds a submission body; larger requests get 400.
+const maxQASMBytes = 1 << 20
+
+// SubmitRequest is the POST /v1/jobs body. QASM holds the OpenQASM 2.0
+// source parsed by internal/circuit; Name optionally overrides the
+// circuit's display name.
+type SubmitRequest struct {
+	Name string `json:"name,omitempty"`
+	QASM string `json:"qasm"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// healthResponse is the GET /healthz body.
+type healthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Backends      int     `json:"backends"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs      submit a QASM program (202, 400, 429, 503)
+//	GET  /v1/jobs      list all job records
+//	GET  /v1/jobs/{id} one job record (404 when unknown)
+//	GET  /v1/backends  per-backend worker status
+//	GET  /metrics      MetricsSnapshot JSON
+//	GET  /healthz      liveness probe
+//
+// When Config.RequestTimeout is positive every request is additionally
+// bounded by http.TimeoutHandler.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/backends", s.handleBackends)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	var h http.Handler = mux
+	if s.cfg.RequestTimeout > 0 {
+		h = http.TimeoutHandler(h, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+	}
+	return h
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxQASMBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	if strings.TrimSpace(req.QASM) == "" {
+		writeError(w, http.StatusBadRequest, "missing qasm field")
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "job"
+	}
+	circ, err := circuit.ParseQASMString(name, req.QASM)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "qasm parse error: "+err.Error())
+		return
+	}
+	rec, err := s.Submit(circ)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, rec)
+}
+
+func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Service) handleBackends(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Backends())
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:        "ok",
+		UptimeSeconds: s.Uptime().Seconds(),
+		Backends:      len(s.workers),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

@@ -1,0 +1,251 @@
+package service
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric, safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value, safe for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates float64 observations into fixed buckets. The
+// bounds are upper-inclusive bucket edges; observations above the last
+// bound land in an implicit overflow bucket.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64
+	sum    float64
+	count  int64
+	min    float64
+	max    float64
+}
+
+// NewHistogram returns a histogram over the given ascending bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+}
+
+// HistogramSnapshot is a point-in-time summary of a Histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot summarizes the histogram. Quantiles are estimated from the
+// bucket midpoints (the overflow bucket reports the observed max).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count == 0 {
+		return s
+	}
+	s.Mean = h.sum / float64(h.count)
+	s.P50 = h.quantileLocked(0.50)
+	s.P90 = h.quantileLocked(0.90)
+	s.P99 = h.quantileLocked(0.99)
+	return s
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	target := int64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen > target {
+			if i >= len(h.bounds) {
+				return h.max
+			}
+			lo := h.min
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			if lo > hi {
+				lo = hi
+			}
+			return (lo + hi) / 2
+		}
+	}
+	return h.max
+}
+
+// Registry is the service's metric set: everything qucloudd exposes on
+// /metrics (as JSON) and via expvar.
+type Registry struct {
+	start time.Time
+
+	JobsAccepted  Counter
+	JobsRejected  Counter
+	JobsCompleted Counter
+	JobsFailed    Counter
+
+	BatchesExecuted Counter
+	// ColocatedBatches counts batches with >1 program; ColocatedJobs
+	// counts the jobs that ran in such batches (numerator of the
+	// co-location rate).
+	ColocatedBatches Counter
+	ColocatedJobs    Counter
+
+	QueueDepth Gauge
+	InFlight   Gauge
+
+	BatchSize      *Histogram
+	QueueLatency   *Histogram // seconds from submit to batch claim
+	CompileLatency *Histogram // seconds compiling a batch
+	ExecLatency    *Histogram // seconds simulating ("executing") a batch
+	TotalLatency   *Histogram // seconds from submit to terminal state
+	PST            *Histogram // achieved per-job PST
+}
+
+// NewRegistry returns a registry with the service's bucket layout.
+func NewRegistry() *Registry {
+	latency := []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 300}
+	pst := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1}
+	return &Registry{
+		start:          time.Now(),
+		BatchSize:      NewHistogram([]float64{1, 2, 3, 4, 6, 8}),
+		QueueLatency:   NewHistogram(latency),
+		CompileLatency: NewHistogram(latency),
+		ExecLatency:    NewHistogram(latency),
+		TotalLatency:   NewHistogram(latency),
+		PST:            NewHistogram(pst),
+	}
+}
+
+// MetricsSnapshot is the JSON document served on /metrics.
+type MetricsSnapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Jobs          struct {
+		Accepted  int64 `json:"accepted"`
+		Rejected  int64 `json:"rejected"`
+		Completed int64 `json:"completed"`
+		Failed    int64 `json:"failed"`
+	} `json:"jobs"`
+	Batches struct {
+		Executed       int64   `json:"executed"`
+		Colocated      int64   `json:"colocated"`
+		ColocatedJobs  int64   `json:"colocated_jobs"`
+		AvgSize        float64 `json:"avg_size"`
+		ColocationRate float64 `json:"colocation_rate"`
+		TRF            float64 `json:"trf"`
+	} `json:"batches"`
+	Queue struct {
+		Depth    int64 `json:"depth"`
+		InFlight int64 `json:"in_flight"`
+	} `json:"queue"`
+	LatencySeconds struct {
+		Queue   HistogramSnapshot `json:"queue"`
+		Compile HistogramSnapshot `json:"compile"`
+		Execute HistogramSnapshot `json:"execute"`
+		Total   HistogramSnapshot `json:"total"`
+	} `json:"latency_seconds"`
+	BatchSize HistogramSnapshot `json:"batch_size"`
+	PST       HistogramSnapshot `json:"pst"`
+}
+
+// Snapshot assembles the current metric values.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	var s MetricsSnapshot
+	s.UptimeSeconds = time.Since(r.start).Seconds()
+	s.Jobs.Accepted = r.JobsAccepted.Value()
+	s.Jobs.Rejected = r.JobsRejected.Value()
+	s.Jobs.Completed = r.JobsCompleted.Value()
+	s.Jobs.Failed = r.JobsFailed.Value()
+	s.Batches.Executed = r.BatchesExecuted.Value()
+	s.Batches.Colocated = r.ColocatedBatches.Value()
+	s.Batches.ColocatedJobs = r.ColocatedJobs.Value()
+	s.BatchSize = r.BatchSize.Snapshot()
+	if s.Batches.Executed > 0 {
+		done := s.Jobs.Completed + s.Jobs.Failed
+		s.Batches.AvgSize = float64(done) / float64(s.Batches.Executed)
+		s.Batches.TRF = float64(done) / float64(s.Batches.Executed)
+	}
+	if done := s.Jobs.Completed + s.Jobs.Failed; done > 0 {
+		s.Batches.ColocationRate = float64(s.Batches.ColocatedJobs) / float64(done)
+	}
+	s.Queue.Depth = r.QueueDepth.Value()
+	s.Queue.InFlight = r.InFlight.Value()
+	s.LatencySeconds.Queue = r.QueueLatency.Snapshot()
+	s.LatencySeconds.Compile = r.CompileLatency.Snapshot()
+	s.LatencySeconds.Execute = r.ExecLatency.Snapshot()
+	s.LatencySeconds.Total = r.TotalLatency.Snapshot()
+	s.PST = r.PST.Snapshot()
+	return s
+}
+
+// expvar integration: expvar.Publish panics on duplicate names, so the
+// package publishes a single "qucloudd" Func once and routes it through
+// an atomically swappable current registry (tests create many
+// registries; only the one passed to PublishExpvar is exported).
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+// PublishExpvar exports this registry's snapshot under the expvar key
+// "qucloudd" (alongside Go's default memstats/cmdline vars). Safe to
+// call more than once; the most recent registry wins.
+func (r *Registry) PublishExpvar() {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("qucloudd", expvar.Func(func() any {
+			if reg := expvarReg.Load(); reg != nil {
+				return reg.Snapshot()
+			}
+			return nil
+		}))
+	})
+}

@@ -1,0 +1,121 @@
+package service
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 800 {
+		t.Fatalf("counter: got %d, want 800", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge: got %d, want 0", g.Value())
+	}
+	g.Set(42)
+	if g.Value() != 42 {
+		t.Fatalf("gauge set: got %d", g.Value())
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5, 10})
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("empty histogram: %+v", s)
+	}
+	for _, v := range []float64{0.5, 1.5, 1.5, 4, 20} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count: got %d", s.Count)
+	}
+	if s.Min != 0.5 || s.Max != 20 {
+		t.Fatalf("min/max: %+v", s)
+	}
+	if want := 27.5 / 5; s.Mean != want {
+		t.Fatalf("mean: got %v want %v", s.Mean, want)
+	}
+	// The median observation (1.5) lands in the (1,2] bucket.
+	if s.P50 < 1 || s.P50 > 2 {
+		t.Fatalf("p50 outside its bucket: %v", s.P50)
+	}
+	// The 99th percentile is the overflow observation.
+	if s.P99 != 20 {
+		t.Fatalf("p99: got %v want 20", s.P99)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram([]float64{0.5, 1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 250; j++ {
+				h.Observe(0.75)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 2000 {
+		t.Fatalf("lost observations: %+v", s)
+	}
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.JobsAccepted.Add(10)
+	r.JobsCompleted.Add(8)
+	r.JobsFailed.Add(2)
+	r.BatchesExecuted.Add(5)
+	r.ColocatedBatches.Add(3)
+	r.ColocatedJobs.Add(6)
+	r.BatchSize.Observe(2)
+	r.PST.Observe(0.9)
+	s := r.Snapshot()
+	if s.Batches.AvgSize != 2 || s.Batches.TRF != 2 {
+		t.Fatalf("derived batch stats: %+v", s.Batches)
+	}
+	if s.Batches.ColocationRate != 0.6 {
+		t.Fatalf("colocation rate: %+v", s.Batches)
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MetricsSnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Jobs.Accepted != 10 {
+		t.Fatalf("round trip lost data: %+v", back.Jobs)
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r1 := NewRegistry()
+	r2 := NewRegistry()
+	r1.PublishExpvar()
+	r2.PublishExpvar() // must not panic on the duplicate name
+	if got := expvarReg.Load(); got != r2 {
+		t.Fatal("latest registry should win")
+	}
+}

@@ -1,0 +1,408 @@
+// Package service implements qucloudd, the long-running QuCloud
+// compilation service: an HTTP/JSON front end over a bounded in-memory
+// job queue, dispatched to one goroutine worker per registered backend
+// (internal/arch device). Each worker pulls batches with the EPST
+// scheduler (internal/sched) — under a static epsilon or the
+// internal/quos adaptive controller — compiles them through the
+// QuCloud pipeline (internal/core), "executes" them on the noisy
+// simulator (internal/sim), and records per-job results in an
+// in-memory store with lifecycle states
+// (queued → batched → compiling → done/failed).
+//
+// The queue applies backpressure: when it is full, Submit returns
+// ErrQueueFull and the HTTP layer answers 429. Shutdown drains the
+// queue and finishes in-flight batches; cancel the drain context to
+// force workers to stop after their current batch.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/cloudsim"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// State is a job's lifecycle stage.
+type State string
+
+// The job lifecycle. Terminal states are StateDone and StateFailed.
+const (
+	StateQueued    State = "queued"
+	StateBatched   State = "batched"
+	StateCompiling State = "compiling"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Policy selects how workers choose the co-location threshold.
+type Policy string
+
+// Batching policies.
+const (
+	// PolicyStatic schedules every batch with Config.Epsilon.
+	PolicyStatic Policy = "static"
+	// PolicyAdaptive gives each worker a quos.Controller that adapts
+	// epsilon from achieved batch fidelity.
+	PolicyAdaptive Policy = "adaptive"
+)
+
+// Config tunes the service.
+type Config struct {
+	// QueueSize bounds the pending-job queue; submissions beyond it
+	// are rejected with ErrQueueFull (HTTP 429).
+	QueueSize int
+	// Policy picks static or adaptive epsilon control.
+	Policy Policy
+	// Epsilon is the (initial) EPST violation threshold.
+	Epsilon float64
+	// Lookahead and MaxColocate pass through to the EPST scheduler.
+	Lookahead   int
+	MaxColocate int
+	// Trials is the Monte-Carlo budget per executed batch.
+	Trials int
+	// Attempts is the compiler's best-of-N seed count.
+	Attempts int
+	// Seed derives each worker's deterministic simulation seeds.
+	Seed int64
+	// Noise is the simulator's noise model.
+	Noise sim.NoiseModel
+	// RequestTimeout bounds each HTTP request (http.TimeoutHandler).
+	RequestTimeout time.Duration
+	// TraceDepth is how many recent batch records each backend keeps.
+	TraceDepth int
+}
+
+// DefaultConfig returns production-ish defaults around the paper's
+// ε = 0.15 operating point.
+func DefaultConfig() Config {
+	return Config{
+		QueueSize:      256,
+		Policy:         PolicyStatic,
+		Epsilon:        0.15,
+		Lookahead:      10,
+		MaxColocate:    3,
+		Trials:         512,
+		Attempts:       1,
+		Seed:           1,
+		Noise:          sim.DefaultNoise(),
+		RequestTimeout: 30 * time.Second,
+		TraceDepth:     64,
+	}
+}
+
+// Sentinel submission errors, mapped to HTTP statuses by the handler.
+var (
+	// ErrQueueFull signals backpressure (HTTP 429).
+	ErrQueueFull = errors.New("service: queue full")
+	// ErrShuttingDown rejects submissions during drain (HTTP 503).
+	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrTooLarge rejects programs no backend can hold (HTTP 400).
+	ErrTooLarge = errors.New("service: program too large for every backend")
+)
+
+// JobRecord is the persisted, client-visible view of a job. Alongside
+// the service's own lifecycle fields it persists the shared
+// cloudsim.Job identity: Seq is the cloudsim.Job.ID and ArrivalSeconds
+// its Arrival (seconds since service start).
+type JobRecord struct {
+	ID             string    `json:"id"`
+	Seq            int       `json:"seq"`
+	Name           string    `json:"name"`
+	Qubits         int       `json:"qubits"`
+	Gates          int       `json:"gates"`
+	State          State     `json:"state"`
+	Backend        string    `json:"backend,omitempty"`
+	CoJobs         []int     `json:"co_jobs,omitempty"`
+	SubmittedAt    time.Time `json:"submitted_at"`
+	ArrivalSeconds float64   `json:"arrival_seconds"`
+	WaitSeconds    float64   `json:"wait_seconds,omitempty"`
+	ServiceSeconds float64   `json:"service_seconds,omitempty"`
+	PST            float64   `json:"pst,omitempty"`
+	Error          string    `json:"error,omitempty"`
+}
+
+// job pairs the client-visible record with the queue-item shape shared
+// with internal/cloudsim. Both are guarded by Service.mu.
+type job struct {
+	rec     JobRecord
+	item    cloudsim.Job
+	claimed time.Time
+}
+
+// BackendStatus describes one worker for GET /v1/backends.
+type BackendStatus struct {
+	Name            string                 `json:"name"`
+	Qubits          int                    `json:"qubits"`
+	Policy          Policy                 `json:"policy"`
+	Epsilon         float64                `json:"epsilon"`
+	Busy            bool                   `json:"busy"`
+	JobsCompleted   int64                  `json:"jobs_completed"`
+	BatchesExecuted int64                  `json:"batches_executed"`
+	RecentBatches   []cloudsim.BatchRecord `json:"recent_batches,omitempty"`
+}
+
+// Service is the qucloudd runtime: job store, bounded queue, and one
+// worker per backend.
+type Service struct {
+	cfg       Config
+	start     time.Time
+	metrics   *Registry
+	workers   []*worker
+	maxQubits int
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []*job
+	jobs      map[string]*job
+	seq       int
+	accepting bool
+	draining  bool
+	forced    bool
+	started   bool
+	wg        sync.WaitGroup
+}
+
+// New builds a service over the devices (one worker each). Zero-valued
+// Config fields fall back to DefaultConfig; devices must be non-empty
+// with distinct names.
+func New(devices []*arch.Device, cfg Config) (*Service, error) {
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("service: need at least one backend device")
+	}
+	def := DefaultConfig()
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = def.QueueSize
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = def.Policy
+	}
+	if cfg.Policy != PolicyStatic && cfg.Policy != PolicyAdaptive {
+		return nil, fmt.Errorf("service: unknown policy %q", cfg.Policy)
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = def.Epsilon
+	}
+	if cfg.Lookahead <= 0 {
+		cfg.Lookahead = def.Lookahead
+	}
+	if cfg.MaxColocate <= 0 {
+		cfg.MaxColocate = def.MaxColocate
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = def.Trials
+	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = def.Attempts
+	}
+	if cfg.TraceDepth <= 0 {
+		cfg.TraceDepth = def.TraceDepth
+	}
+	seen := map[string]bool{}
+	s := &Service{
+		cfg:       cfg,
+		start:     time.Now(),
+		metrics:   NewRegistry(),
+		jobs:      map[string]*job{},
+		accepting: true,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i, d := range devices {
+		if seen[d.Name] {
+			return nil, fmt.Errorf("service: duplicate backend name %q", d.Name)
+		}
+		seen[d.Name] = true
+		if n := d.NumQubits(); n > s.maxQubits {
+			s.maxQubits = n
+		}
+		s.workers = append(s.workers, newWorker(s, i, d))
+	}
+	return s, nil
+}
+
+// Start launches the backend workers. It is idempotent.
+func (s *Service) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	for _, w := range s.workers {
+		s.wg.Add(1)
+		go w.run()
+	}
+}
+
+// Metrics exposes the service's metric registry.
+func (s *Service) Metrics() *Registry { return s.metrics }
+
+// Uptime is the time since the service was constructed.
+func (s *Service) Uptime() time.Duration { return time.Since(s.start) }
+
+// Submit enqueues a parsed program and returns its record. It fails
+// with ErrQueueFull under backpressure, ErrShuttingDown during drain,
+// and ErrTooLarge when no backend can hold the program.
+func (s *Service) Submit(circ *circuit.Circuit) (JobRecord, error) {
+	if circ == nil || circ.NumQubits == 0 {
+		return JobRecord{}, fmt.Errorf("service: empty program")
+	}
+	if circ.NumQubits > s.maxQubits {
+		return JobRecord{}, fmt.Errorf("%w: program %q needs %d qubits, largest backend has %d",
+			ErrTooLarge, circ.Name, circ.NumQubits, s.maxQubits)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.accepting {
+		s.metrics.JobsRejected.Inc()
+		return JobRecord{}, ErrShuttingDown
+	}
+	if len(s.queue) >= s.cfg.QueueSize {
+		s.metrics.JobsRejected.Inc()
+		return JobRecord{}, ErrQueueFull
+	}
+	seq := s.seq
+	s.seq++
+	now := time.Now()
+	arrival := now.Sub(s.start).Seconds()
+	j := &job{
+		rec: JobRecord{
+			ID:             fmt.Sprintf("job-%06d", seq),
+			Seq:            seq,
+			Name:           circ.Name,
+			Qubits:         circ.NumQubits,
+			Gates:          len(circ.Gates),
+			State:          StateQueued,
+			SubmittedAt:    now,
+			ArrivalSeconds: arrival,
+		},
+		item: cloudsim.Job{ID: seq, Circ: circ, Arrival: arrival},
+	}
+	s.queue = append(s.queue, j)
+	s.jobs[j.rec.ID] = j
+	s.metrics.JobsAccepted.Inc()
+	s.metrics.QueueDepth.Set(int64(len(s.queue)))
+	s.cond.Broadcast()
+	return snapshotRecord(j), nil
+}
+
+// Job returns the record for the given public id.
+func (s *Service) Job(id string) (JobRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobRecord{}, false
+	}
+	return snapshotRecord(j), true
+}
+
+// Jobs lists every record, oldest first.
+func (s *Service) Jobs() []JobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobRecord, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, snapshotRecord(j))
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Seq < out[k].Seq })
+	return out
+}
+
+// Backends reports every worker's status.
+func (s *Service) Backends() []BackendStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]BackendStatus, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = w.statusLocked()
+	}
+	return out
+}
+
+// Shutdown stops accepting jobs, drains the queue, and waits for the
+// workers to finish every remaining batch. If ctx is canceled first,
+// workers stop after their current batch, leftover queued jobs are
+// marked failed, and ctx's error is returned.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.accepting = false
+	s.draining = true
+	started := s.started
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	if !started {
+		s.failRemaining("service shut down before execution")
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.failRemaining("service shut down before execution")
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		s.forced = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		<-done
+		s.failRemaining("service shut down before execution")
+		return ctx.Err()
+	}
+}
+
+// failRemaining marks every still-queued job failed (used when a
+// shutdown leaves jobs behind).
+func (s *Service) failRemaining(msg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.queue {
+		j.rec.State = StateFailed
+		j.rec.Error = msg
+		s.metrics.JobsFailed.Inc()
+		s.metrics.TotalLatency.Observe(time.Since(j.rec.SubmittedAt).Seconds())
+	}
+	s.queue = nil
+	s.metrics.QueueDepth.Set(0)
+}
+
+// snapshotRecord copies a job's record (cloning the CoJobs slice so
+// callers can't observe later mutation).
+func snapshotRecord(j *job) JobRecord {
+	rec := j.rec
+	rec.CoJobs = append([]int(nil), j.rec.CoJobs...)
+	return rec
+}
+
+// omegaFor mirrors core.NewCompiler's knee: 0.95 up to 20 qubits, 0.40
+// above.
+func omegaFor(d *arch.Device) float64 {
+	if d.NumQubits() > 20 {
+		return 0.40
+	}
+	return 0.95
+}
+
+// strategyFor picks the compilation strategy for a batch size.
+func strategyFor(n int) core.Strategy {
+	if n > 1 {
+		return core.CDAPXSwap
+	}
+	return core.Separate
+}

@@ -1,0 +1,318 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/cloudsim"
+	"repro/internal/core"
+	"repro/internal/quos"
+	"repro/internal/sched"
+)
+
+// worker owns one backend device: it claims EPST batches from the
+// shared queue, compiles and simulates them, and writes results back.
+// Mutable fields (eps, busy, counters, trace) are guarded by
+// Service.mu; comp, ctrl, and the seed counter are touched only by the
+// worker's own goroutine, so each worker is deterministic and
+// race-free without sharing any random state.
+type worker struct {
+	svc   *Service
+	index int
+	dev   *arch.Device
+	comp  *core.Compiler
+	ctrl  *quos.Controller // nil under PolicyStatic
+	seed  int64            // per-worker deterministic seed counter
+
+	// Guarded by svc.mu.
+	eps         float64
+	busy        bool
+	jobsDone    int64
+	batchesDone int64
+	trace       []cloudsim.BatchRecord
+}
+
+// newWorker wires a worker for the device.
+func newWorker(s *Service, index int, dev *arch.Device) *worker {
+	comp := core.NewCompiler(dev)
+	comp.Attempts = s.cfg.Attempts
+	w := &worker{
+		svc:   s,
+		index: index,
+		dev:   dev,
+		comp:  comp,
+		seed:  s.cfg.Seed + int64(index)*1_000_003,
+		eps:   s.cfg.Epsilon,
+	}
+	if s.cfg.Policy == PolicyAdaptive {
+		qcfg := quos.DefaultConfig()
+		qcfg.InitialEpsilon = s.cfg.Epsilon
+		qcfg.Lookahead = s.cfg.Lookahead
+		qcfg.MaxColocate = s.cfg.MaxColocate
+		w.ctrl = quos.NewController(qcfg)
+	}
+	return w
+}
+
+// nextSeed returns a fresh deterministic simulation seed; only the
+// worker goroutine calls it.
+func (w *worker) nextSeed() int64 {
+	w.seed++
+	return w.seed
+}
+
+// run is the worker loop: claim a batch, execute it, repeat until the
+// service drains (or is forced to stop).
+func (w *worker) run() {
+	defer w.svc.wg.Done()
+	for {
+		batch := w.claim()
+		if batch == nil {
+			return
+		}
+		w.execute(batch)
+	}
+}
+
+// claim blocks until jobs that fit this device are queued, then
+// selects the next EPST batch and removes it from the queue. It
+// returns nil when the worker should exit: the service is draining and
+// holds nothing this device can run, or a forced stop was requested.
+func (w *worker) claim() []*job {
+	s := w.svc
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var cands []*job
+	for {
+		if s.forced {
+			return nil
+		}
+		cands = cands[:0]
+		for _, j := range s.queue {
+			if j.rec.Qubits <= w.dev.NumQubits() {
+				cands = append(cands, j)
+			}
+		}
+		if len(cands) > 0 {
+			break
+		}
+		if s.draining {
+			return nil
+		}
+		s.cond.Wait()
+	}
+
+	// Scheduling happens under the service lock: the EPST pass over
+	// Lookahead tiny programs is milliseconds, and holding the lock
+	// keeps claim/requeue linearizable across workers.
+	look := len(cands)
+	if look > s.cfg.Lookahead {
+		look = s.cfg.Lookahead
+	}
+	sjobs := make([]sched.Job, look)
+	for i, j := range cands[:look] {
+		sjobs[i] = j.item.SchedJob()
+	}
+	scfg := sched.Config{
+		Epsilon:     w.eps,
+		Lookahead:   s.cfg.Lookahead,
+		MaxColocate: s.cfg.MaxColocate,
+		Omega:       omegaFor(w.dev),
+	}
+	selected := map[int]bool{}
+	if batches, err := sched.Schedule(w.dev, sjobs, scfg); err == nil && len(batches) > 0 {
+		for _, id := range batches[0].JobIDs {
+			selected[id] = true
+		}
+	} else {
+		selected[cands[0].rec.Seq] = true
+	}
+
+	var batch []*job
+	rest := s.queue[:0]
+	for _, j := range s.queue {
+		if selected[j.rec.Seq] {
+			batch = append(batch, j)
+		} else {
+			rest = append(rest, j)
+		}
+	}
+	s.queue = rest
+
+	now := time.Now()
+	seqs := make([]int, len(batch))
+	for i, j := range batch {
+		seqs[i] = j.rec.Seq
+	}
+	for _, j := range batch {
+		j.rec.State = StateBatched
+		j.rec.Backend = w.dev.Name
+		j.rec.CoJobs = seqs
+		j.rec.WaitSeconds = now.Sub(j.rec.SubmittedAt).Seconds()
+		j.claimed = now
+		s.metrics.QueueLatency.Observe(j.rec.WaitSeconds)
+	}
+	w.busy = true
+	s.metrics.QueueDepth.Set(int64(len(s.queue)))
+	s.metrics.InFlight.Add(int64(len(batch)))
+	return batch
+}
+
+// requeueFront returns unexecuted jobs to the head of the queue (used
+// when a co-located compilation falls back to running the head alone).
+func (w *worker) requeueFront(tail []*job) {
+	s := w.svc
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range tail {
+		j.rec.State = StateQueued
+		j.rec.Backend = ""
+		j.rec.CoJobs = nil
+	}
+	s.queue = append(append([]*job(nil), tail...), s.queue...)
+	s.metrics.QueueDepth.Set(int64(len(s.queue)))
+	s.metrics.InFlight.Add(-int64(len(tail)))
+	s.cond.Broadcast()
+}
+
+// execute compiles, simulates, and records one claimed batch.
+func (w *worker) execute(batch []*job) {
+	s := w.svc
+	start := time.Now()
+	progs := make([]*circuit.Circuit, len(batch))
+	s.mu.Lock()
+	for i, j := range batch {
+		j.rec.State = StateCompiling
+		progs[i] = j.item.Circ
+	}
+	s.mu.Unlock()
+
+	strat := strategyFor(len(batch))
+	res, err := w.comp.Compile(progs, strat)
+	if err != nil && len(batch) > 1 {
+		// Co-location failed after all: put the tail back and run the
+		// head alone, as the offline cloudsim does.
+		w.requeueFront(batch[1:])
+		batch, progs = batch[:1], progs[:1]
+		strat = core.Separate
+		res, err = w.comp.Compile(progs, strat)
+	}
+	compiled := time.Now()
+	if err != nil {
+		w.fail(batch, fmt.Errorf("compile: %w", err))
+		return
+	}
+
+	psts, err := w.comp.Simulate(res, s.cfg.Trials, w.nextSeed(), s.cfg.Noise)
+	executed := time.Now()
+	if err != nil {
+		w.fail(batch, fmt.Errorf("execute: %w", err))
+		return
+	}
+	avg := 0.0
+	for _, p := range psts {
+		avg += p
+	}
+	avg /= float64(len(psts))
+
+	// Adaptive control: compare achieved fidelity to the
+	// separate-execution estimate and let the controller move epsilon.
+	var newEps float64
+	adapted := false
+	if w.ctrl != nil {
+		if sepEst, estErr := quos.SeparateEstimate(w.comp, progs, s.cfg.Noise); estErr == nil {
+			w.ctrl.Observe(len(progs) > 1, avg, sepEst)
+			newEps = w.ctrl.Epsilon()
+			adapted = true
+		}
+	}
+
+	qubits := 0
+	for _, p := range progs {
+		qubits += p.NumQubits
+	}
+	seqs := make([]int, len(batch))
+	for i, j := range batch {
+		seqs[i] = j.rec.Seq
+	}
+	s.mu.Lock()
+	for i, j := range batch {
+		j.rec.State = StateDone
+		j.rec.PST = psts[i]
+		j.rec.ServiceSeconds = executed.Sub(j.claimed).Seconds()
+	}
+	if adapted {
+		w.eps = newEps
+	}
+	w.busy = false
+	w.jobsDone += int64(len(batch))
+	w.batchesDone++
+	w.trace = append(w.trace, cloudsim.BatchRecord{
+		JobIDs:     seqs,
+		Start:      start.Sub(s.start).Seconds(),
+		Finish:     executed.Sub(s.start).Seconds(),
+		Depth:      res.Depth,
+		CNOTs:      res.CNOTs,
+		Strategy:   strat,
+		QubitsUsed: qubits,
+	})
+	if len(w.trace) > s.cfg.TraceDepth {
+		w.trace = w.trace[len(w.trace)-s.cfg.TraceDepth:]
+	}
+	s.mu.Unlock()
+
+	m := s.metrics
+	m.BatchesExecuted.Inc()
+	m.BatchSize.Observe(float64(len(batch)))
+	if len(batch) > 1 {
+		m.ColocatedBatches.Inc()
+		m.ColocatedJobs.Add(int64(len(batch)))
+	}
+	m.CompileLatency.Observe(compiled.Sub(start).Seconds())
+	m.ExecLatency.Observe(executed.Sub(compiled).Seconds())
+	m.InFlight.Add(-int64(len(batch)))
+	for i, j := range batch {
+		m.JobsCompleted.Inc()
+		m.TotalLatency.Observe(executed.Sub(j.rec.SubmittedAt).Seconds())
+		m.PST.Observe(psts[i])
+	}
+}
+
+// fail marks every job in the batch failed.
+func (w *worker) fail(batch []*job, err error) {
+	s := w.svc
+	now := time.Now()
+	s.mu.Lock()
+	for _, j := range batch {
+		j.rec.State = StateFailed
+		j.rec.Error = err.Error()
+		j.rec.ServiceSeconds = now.Sub(j.claimed).Seconds()
+	}
+	w.busy = false
+	w.batchesDone++
+	s.mu.Unlock()
+	s.metrics.BatchesExecuted.Inc()
+	s.metrics.BatchSize.Observe(float64(len(batch)))
+	s.metrics.InFlight.Add(-int64(len(batch)))
+	for _, j := range batch {
+		s.metrics.JobsFailed.Inc()
+		s.metrics.TotalLatency.Observe(now.Sub(j.rec.SubmittedAt).Seconds())
+	}
+}
+
+// statusLocked assembles the worker's BackendStatus; callers hold
+// Service.mu.
+func (w *worker) statusLocked() BackendStatus {
+	return BackendStatus{
+		Name:            w.dev.Name,
+		Qubits:          w.dev.NumQubits(),
+		Policy:          w.svc.cfg.Policy,
+		Epsilon:         w.eps,
+		Busy:            w.busy,
+		JobsCompleted:   w.jobsDone,
+		BatchesExecuted: w.batchesDone,
+		RecentBatches:   append([]cloudsim.BatchRecord(nil), w.trace...),
+	}
+}
