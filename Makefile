@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover experiments examples clean
+.PHONY: all build vet lint test race bench cover experiments examples clean
 
 all: build test
 
@@ -12,10 +12,15 @@ build:
 vet:
 	$(GO) vet ./...
 
-# The default test path runs vet first, then the full suite, then the
-# race detector over the concurrent packages (the service, its
-# scheduler dependencies, and the daemon).
-test: vet
+# Domain-specific static checks (determinism, float safety, lock
+# hygiene); see internal/lint and `go run ./cmd/qulint -list`.
+lint:
+	$(GO) run ./cmd/qulint ./...
+
+# The default test path runs vet and qulint first, then the full
+# suite, then the race detector over the concurrent packages (the
+# service, its scheduler dependencies, and the daemon).
+test: vet lint
 	$(GO) test ./...
 	$(GO) test -race ./internal/service/... ./internal/sched/... ./internal/cloudsim/... ./cmd/qucloudd/...
 

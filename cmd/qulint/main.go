@@ -1,0 +1,119 @@
+// Command qulint runs the repository's domain-specific static checks
+// (internal/lint) over every package in the module: determinism
+// (norandglobal, nowallclock, maporder), numeric safety (floateq), and
+// library/concurrency hygiene (noprint, guardedby).
+//
+// Usage:
+//
+//	qulint [-checks a,b,c] [-json] [-list] [pattern ...]
+//
+// Patterns are ./...-style path filters relative to the module root
+// (default ./...). Findings print as file:line:col diagnostics (or a
+// JSON array with -json); the exit status is 1 when any finding
+// survives, 2 on usage or load errors. Suppress a finding with
+// //lint:ignore <check> <reason> on or directly above the line.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qulint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checksFlag := fs.String("checks", "", "comma-separated checks to run (default: all)")
+	jsonFlag := fs.Bool("json", false, "emit findings as a JSON array")
+	listFlag := fs.Bool("list", false, "list available checks and exit")
+	dirFlag := fs.String("C", ".", "directory to resolve the module from")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listFlag {
+		for _, c := range lint.Checks() {
+			fmt.Fprintf(stdout, "%-14s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+	checks, err := lint.SelectChecks(*checksFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "qulint:", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(*dirFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "qulint:", err)
+		return 2
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "qulint:", err)
+		return 2
+	}
+	pkgs = filterPackages(pkgs, fs.Args())
+	findings := lint.Run(pkgs, checks)
+	if *jsonFlag {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "qulint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "qulint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// filterPackages keeps packages matching any ./...-style pattern
+// (resolved against the module root). No patterns, "." or "./..."
+// match everything.
+func filterPackages(pkgs []*lint.Package, patterns []string) []*lint.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	var out []*lint.Package
+	for _, p := range pkgs {
+		for _, pat := range patterns {
+			if matchPattern(p.Rel, pat) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// matchPattern implements the subset of go-tool pattern syntax the
+// driver needs: ".", "./...", "./dir", and "./dir/...".
+func matchPattern(rel, pat string) bool {
+	pat = filepath.ToSlash(pat)
+	pat = strings.TrimPrefix(pat, "./")
+	if pat == "..." || pat == "." || pat == "" {
+		return true
+	}
+	if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+		return rel == prefix || strings.HasPrefix(rel, prefix+"/")
+	}
+	return rel == pat
+}

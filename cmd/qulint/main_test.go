@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestModuleIsClean is the smoke test the Makefile's lint target
+// relies on: qulint over the real module must exit 0 with no output.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", "../..", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("qulint ./... = exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run wrote to stdout:\n%s", stdout.String())
+	}
+}
+
+// TestJSONOutput filters to a single package and asserts the -json
+// encoding is a well-formed (possibly empty) array.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", "../..", "-json", "-checks", "floateq", "./internal/fp"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	var findings []lint.Finding
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) != 0 {
+		t.Errorf("internal/fp should be floateq-clean, got %v", findings)
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	for _, name := range lint.CheckNames() {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing check %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-checks", "nosuchcheck"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown check: exit %d, want 2", code)
+	}
+	if code := run([]string{"-nope"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"-C", "/nonexistent-dir"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad module dir: exit %d, want 2", code)
+	}
+}
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		rel, pat string
+		want     bool
+	}{
+		{"internal/sim", "./...", true},
+		{"internal/sim", ".", true},
+		{"", "./...", true},
+		{"internal/sim", "./internal/sim", true},
+		{"internal/sim", "./internal/...", true},
+		{"internal/simx", "./internal/sim/...", false},
+		{"internal/sim/sub", "./internal/sim/...", true},
+		{"internal/sim", "./internal/sched", false},
+		{"cmd/qulint", "./cmd/...", true},
+		{"internal/sim", "internal/sim", true},
+	}
+	for _, c := range cases {
+		if got := matchPattern(c.rel, c.pat); got != c.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", c.rel, c.pat, got, c.want)
+		}
+	}
+}
+
+func TestFilterPackages(t *testing.T) {
+	pkgs := []*lint.Package{{Rel: ""}, {Rel: "internal/sim"}, {Rel: "cmd/qulint"}}
+	got := filterPackages(pkgs, []string{"./internal/..."})
+	if len(got) != 1 || got[0].Rel != "internal/sim" {
+		t.Errorf("filter ./internal/... = %v", rels(got))
+	}
+	if got := filterPackages(pkgs, nil); len(got) != 3 {
+		t.Errorf("no patterns should keep all packages, got %v", rels(got))
+	}
+}
+
+func rels(pkgs []*lint.Package) []string {
+	var out []string
+	for _, p := range pkgs {
+		out = append(out, p.Rel)
+	}
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/fp"
 	"repro/internal/graph"
 )
 
@@ -167,7 +168,7 @@ func (d *Device) Utility(q int, free []bool) float64 {
 			errSum += d.CNOTError(q, nb)
 		}
 	}
-	if links == 0 || errSum == 0 {
+	if links == 0 || fp.Zero(errSum) {
 		return 0
 	}
 	return float64(links) / errSum

@@ -7,6 +7,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"repro/internal/fp"
 )
 
 // ParseQASM reads an OpenQASM 2.0 program and returns it as a Circuit.
@@ -438,7 +440,7 @@ func (p *exprParser) parseProduct() (float64, error) {
 		if op == '*' {
 			v *= rhs
 		} else {
-			if rhs == 0 {
+			if fp.Zero(rhs) {
 				return 0, fmt.Errorf("division by zero in %q", p.s)
 			}
 			v /= rhs

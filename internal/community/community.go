@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/arch"
+	"repro/internal/fp"
 	"repro/internal/graph"
 )
 
@@ -109,7 +110,7 @@ func Build(d *arch.Device, omega float64) *Tree {
 		commOf[q] = q
 	}
 	m := float64(d.Coupling.M())
-	if m == 0 {
+	if d.Coupling.M() == 0 {
 		m = 1 // degenerate single-qubit devices
 	}
 
@@ -139,8 +140,8 @@ func Build(d *arch.Device, omega float64) *Tree {
 				if comms[j] == nil {
 					continue
 				}
-				between := eFrac[[2]int{i, j}]
-				if between == 0 && connectedPair {
+				between, linked := eFrac[[2]int{i, j}]
+				if !linked && connectedPair {
 					continue // prefer connected merges
 				}
 				// between is in units of (edges between)/m = 2·e_ij,
@@ -253,7 +254,7 @@ func mergeSorted(a, b []int) []int {
 // into the given groups: Q = Σ_i (e_ii − a_i²).
 func Modularity(d *arch.Device, groups [][]int) float64 {
 	m := float64(d.Coupling.M())
-	if m == 0 {
+	if d.Coupling.M() == 0 {
 		return 0
 	}
 	groupOf := map[int]int{}
@@ -358,7 +359,7 @@ func Knee(xs, ys []float64) int {
 	x1, y1 := xs[len(xs)-1], ys[len(ys)-1]
 	dx, dy := x1-x0, y1-y0
 	norm := math.Hypot(dx, dy)
-	if norm == 0 {
+	if fp.Zero(norm) {
 		return 0
 	}
 	best, bestDist := 0, -1.0

@@ -1,0 +1,13 @@
+package core
+
+import "repro/internal/fp"
+
+// FloatTol is the tolerance FloatEq compares under (see fp.Tol).
+const FloatTol = fp.Tol
+
+// FloatEq reports whether two fidelity-scale values (PST, EPST,
+// modularity, error rates) are equal within FloatTol × max(1, |a|,
+// |b|). Use it instead of == on float64: exact equality on simulated
+// fidelities is brittle against any reassociation of the underlying
+// arithmetic, and the floateq lint check rejects it.
+func FloatEq(a, b float64) bool { return fp.Eq(a, b) }

@@ -1,0 +1,15 @@
+package core
+
+import "testing"
+
+func TestFloatEq(t *testing.T) {
+	if !FloatEq(0.1+0.2, 0.3) {
+		t.Error("FloatEq(0.1+0.2, 0.3) = false, want true")
+	}
+	if FloatEq(0.95, 0.40) {
+		t.Error("FloatEq(0.95, 0.40) = true, want false")
+	}
+	if FloatTol <= 0 || FloatTol >= 1e-6 {
+		t.Errorf("FloatTol = %g out of the documented range", FloatTol)
+	}
+}

@@ -1,0 +1,53 @@
+package fp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{1, 1 + 1e-12, true},                  // rounding noise
+		{1, 1 + 1e-6, false},                  // real difference
+		{0, 1e-12, true},                      // absolute near zero
+		{0, 1e-6, false},                      //
+		{1e12, 1e12 + 1, true},                // relative at scale
+		{1e12, 1.001e12, false},               //
+		{0.1 + 0.2, 0.3, true},                // the classic
+		{math.Inf(1), math.Inf(1), true},      //
+		{math.Inf(1), math.Inf(-1), false},    //
+		{math.Inf(1), math.MaxFloat64, false}, //
+		{math.NaN(), math.NaN(), false},       //
+		{math.NaN(), 0, false},                //
+		{-1, 1, false},                        //
+		{1e-15, -1e-15, true},                 // straddling zero
+		{0.95, 0.95 + 2e-16, true},            // omega knee values
+		{0.4 + 1e-8, 0.4, false},              // above Tol
+	}
+	for _, c := range cases {
+		if got := Eq(c.a, c.b); got != c.want {
+			t.Errorf("Eq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := Eq(c.b, c.a); got != c.want {
+			t.Errorf("Eq(%v, %v) = %v, want %v (asymmetric)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestZero(t *testing.T) {
+	for _, x := range []float64{0, 1e-12, -1e-12, math.Copysign(0, -1)} {
+		if !Zero(x) {
+			t.Errorf("Zero(%v) = false, want true", x)
+		}
+	}
+	for _, x := range []float64{1e-6, -1e-6, 1, math.Inf(1), math.NaN()} {
+		if Zero(x) {
+			t.Errorf("Zero(%v) = true, want false", x)
+		}
+	}
+}

@@ -1,0 +1,389 @@
+// Package lint is a small stdlib-only static-analysis framework for
+// this repository. It loads every package in the module with
+// go/parser + go/types (no golang.org/x/tools dependency) and runs a
+// set of domain-specific checks that keep the QuCloud reproduction's
+// fidelity numbers trustworthy: determinism (no global math/rand, no
+// wall-clock reads in compiler/simulator packages, no unordered map
+// iteration feeding results), numeric safety (no exact float
+// equality), and concurrency hygiene (fields documented as guarded by
+// a mutex are only touched under it).
+//
+// Findings can be suppressed per line with
+//
+//	//lint:ignore <check>[,<check>...] <reason>
+//
+// placed on the offending line or the line directly above it. The
+// reason is mandatory; a directive without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Finding is one diagnostic produced by a check.
+type Finding struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.File, f.Line, f.Col, f.Message, f.Check)
+}
+
+// Package is one loaded, type-checked package handed to checks.
+type Package struct {
+	// ModulePath is the module's import-path prefix (from go.mod).
+	ModulePath string
+	// Path is the package's full import path.
+	Path string
+	// Rel is the package directory relative to the module root, using
+	// forward slashes ("" for the root package).
+	Rel string
+	// Dir is the absolute package directory.
+	Dir string
+	// Fset positions every file in Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Info holds type information; always non-nil, possibly sparse if
+	// type-checking reported errors.
+	Info *types.Info
+	// Types is the type-checked package object (may be marked
+	// incomplete if checking failed part-way).
+	Types *types.Package
+	// TypeErrors collects type-checker diagnostics; checks still run
+	// on a package with errors, degrading to syntactic matching.
+	TypeErrors []error
+}
+
+// Check is one named analysis pass.
+type Check struct {
+	// Name is the identifier used by -checks and //lint:ignore.
+	Name string
+	// Doc is a one-line description shown by qulint -list.
+	Doc string
+	// Run produces the check's findings for one package.
+	Run func(p *Package) []Finding
+}
+
+// Checks returns every registered check in stable order.
+func Checks() []Check {
+	return []Check{
+		checkNoRandGlobal(),
+		checkNoWallClock(),
+		checkMapOrder(),
+		checkFloatEq(),
+		checkNoPrint(),
+		checkGuardedBy(),
+	}
+}
+
+// CheckNames returns the registered check names in stable order.
+func CheckNames() []string {
+	var names []string
+	for _, c := range Checks() {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+// SelectChecks resolves a comma-separated -checks value against the
+// registry. An empty spec selects every check.
+func SelectChecks(spec string) ([]Check, error) {
+	all := Checks()
+	if strings.TrimSpace(spec) == "" {
+		return all, nil
+	}
+	byName := make(map[string]Check, len(all))
+	for _, c := range all {
+		byName[c.Name] = c
+	}
+	var out []Check
+	seen := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		c, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (known: %s)", name, strings.Join(CheckNames(), ", "))
+		}
+		if !seen[name] {
+			out = append(out, c)
+			seen[name] = true
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -checks selection")
+	}
+	return out, nil
+}
+
+// Run applies the checks to every package, drops suppressed findings,
+// and returns the remainder sorted by file, line, and column.
+func Run(pkgs []*Package, checks []Check) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		ignores, bad := collectIgnores(p)
+		out = append(out, bad...)
+		for _, c := range checks {
+			for _, f := range c.Run(p) {
+				if ignores.suppresses(f) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// ignoreSet indexes //lint:ignore directives by file and line.
+type ignoreSet map[string]map[int][]string // file -> line -> check names ("all" wildcard)
+
+// suppresses reports whether a directive on the finding's line or the
+// line directly above names the finding's check.
+func (s ignoreSet) suppresses(f Finding) bool {
+	lines := s[f.File]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{f.Line, f.Line - 1} {
+		for _, name := range lines[l] {
+			if name == "all" || name == f.Check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectIgnores gathers the package's suppression directives. A
+// directive missing its mandatory reason is returned as a finding so
+// suppressions stay auditable.
+func collectIgnores(p *Package) (ignoreSet, []Finding) {
+	set := ignoreSet{}
+	var bad []Finding
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Check:   "lintdirective",
+						File:    pos.Filename,
+						Line:    pos.Line,
+						Col:     pos.Column,
+						Message: "malformed //lint:ignore directive: need a check name and a reason",
+					})
+					continue
+				}
+				if set[pos.Filename] == nil {
+					set[pos.Filename] = map[int][]string{}
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						set[pos.Filename][pos.Line] = append(set[pos.Filename][pos.Line], name)
+					}
+				}
+			}
+		}
+	}
+	return set, bad
+}
+
+// --- shared helpers for checks ---
+
+// finding builds a Finding at the node's position.
+func (p *Package) finding(check string, n ast.Node, format string, args ...any) Finding {
+	pos := p.Fset.Position(n.Pos())
+	return Finding{
+		Check:   check,
+		File:    pos.Filename,
+		Line:    pos.Line,
+		Col:     pos.Column,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// isTestFile reports whether the node sits in a _test.go file.
+func (p *Package) isTestFile(n ast.Node) bool {
+	return strings.HasSuffix(p.Fset.Position(n.Pos()).Filename, "_test.go")
+}
+
+// importLocalName returns the identifier a file binds to the import
+// path ("" if not imported; "_" and "." are returned verbatim).
+func importLocalName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			p = p[i+1:]
+		}
+		return p
+	}
+	return ""
+}
+
+// pkgFuncCall resolves a call of the form pkgname.Func where pkgname
+// is the file-local name of importPath. It returns the called
+// function's name and true on match. Type information is consulted
+// first (catching aliased imports and rejecting shadowed identifiers);
+// when absent it falls back to matching the import table.
+func (p *Package) pkgFuncCall(file *ast.File, call *ast.CallExpr, importPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if p.Info != nil {
+		if obj, ok := p.Info.Uses[id]; ok {
+			pn, ok := obj.(*types.PkgName)
+			if !ok {
+				return "", false
+			}
+			if pn.Imported().Path() != importPath {
+				return "", false
+			}
+			return sel.Sel.Name, true
+		}
+	}
+	if name := importLocalName(file, importPath); name != "" && name == id.Name {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// exprString renders a (small) expression for messages and lexical
+// comparisons.
+func exprString(e ast.Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e ast.Expr) {
+	switch v := e.(type) {
+	case *ast.Ident:
+		b.WriteString(v.Name)
+	case *ast.SelectorExpr:
+		writeExpr(b, v.X)
+		b.WriteByte('.')
+		b.WriteString(v.Sel.Name)
+	case *ast.ParenExpr:
+		writeExpr(b, v.X)
+	case *ast.StarExpr:
+		b.WriteByte('*')
+		writeExpr(b, v.X)
+	case *ast.IndexExpr:
+		writeExpr(b, v.X)
+		b.WriteByte('[')
+		writeExpr(b, v.Index)
+		b.WriteByte(']')
+	case *ast.CallExpr:
+		writeExpr(b, v.Fun)
+		b.WriteString("(…)")
+	case *ast.BasicLit:
+		b.WriteString(v.Value)
+	case *ast.UnaryExpr:
+		b.WriteString(v.Op.String())
+		writeExpr(b, v.X)
+	case *ast.BinaryExpr:
+		writeExpr(b, v.X)
+		b.WriteString(v.Op.String())
+		writeExpr(b, v.Y)
+	default:
+		b.WriteString("…")
+	}
+}
+
+// rootIdent returns the leftmost identifier of a selector/index chain
+// (x in x.a.b[i]), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// lastSelName returns the final identifier of an expression like
+// a.b.mu (-> "mu") or mu (-> "mu"), or "".
+func lastSelName(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return v.Sel.Name
+	case *ast.ParenExpr:
+		return lastSelName(v.X)
+	}
+	return ""
+}
+
+// mentionsIdent reports whether the expression tree contains an
+// identifier with the given name.
+func mentionsIdent(e ast.Node, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+var guardedByRe = regexp.MustCompile(`(?i)guarded by\s+([A-Za-z_][A-Za-z0-9_.]*)`)

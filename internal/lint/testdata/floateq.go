@@ -1,0 +1,36 @@
+// Fixture for the floateq check: exact ==/!= between floating-point
+// operands is flagged outside tests.
+package fixture
+
+func approx(a, b float64) bool {
+	return a == b // want "exact float comparison a==b"
+}
+
+func nonzero(x float64) bool {
+	return x != 0 // want "exact float comparison x!=0"
+}
+
+func mixed(score float64, best float64) bool {
+	if score == best { // want "exact float comparison score==best"
+		return true
+	}
+	return false
+}
+
+func f32(a, b float32) bool {
+	return a == b // want "exact float comparison a==b"
+}
+
+func nanProbe(x float64) bool {
+	return x != x // ok: the portable NaN test
+}
+
+func ints(a, b int) bool {
+	return a == b // ok: integers compare exactly
+}
+
+var constFold = 0.1 == 0.2 // ok: folded at compile time
+
+func ordered(a, b float64) bool {
+	return a < b // ok: ordering comparisons are fine
+}

@@ -1,0 +1,56 @@
+// Fixture for the guardedby check: fields annotated "guarded by <mu>"
+// must only be touched by methods that lock <mu> (or carry the *Locked
+// caller-holds-the-lock suffix).
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	n    int    // guarded by mu
+	name string // immutable, no guard
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++ // ok: method locks mu
+}
+
+func (c *counter) Bad() int {
+	return c.n // want "c.n is guarded by mu but method Bad never locks it"
+}
+
+func (c *counter) Name() string {
+	return c.name // ok: field is not guarded
+}
+
+func (c *counter) valueLocked() int {
+	return c.n // ok: *Locked suffix documents the caller holds mu
+}
+
+type wrapper struct {
+	svc *counter
+	val int // guarded by svc.mu
+}
+
+func (w *wrapper) Get() int {
+	w.svc.mu.Lock()
+	defer w.svc.mu.Unlock()
+	return w.val // ok: locks through the owning object
+}
+
+func (w *wrapper) Sneak() int {
+	return w.val // want "w.val is guarded by mu but method Sneak never locks it"
+}
+
+type rw struct {
+	mu   sync.RWMutex
+	data map[string]int // guarded by mu
+}
+
+func (r *rw) Read(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.data[k] // ok: read lock counts
+}

@@ -1,0 +1,27 @@
+// Fixture for //lint:ignore suppression, exercised with the floateq
+// check: a directive with a reason on the offending line or the line
+// above silences the finding; undirected lines still fire.
+package fixture
+
+func eqExact(a, b float64) bool {
+	//lint:ignore floateq fixture demonstrates a justified suppression
+	return a == b
+}
+
+func eqSameLine(a, b float64) bool {
+	return a == b //lint:ignore floateq same-line suppression works too
+}
+
+func eqMultiCheck(a, b float64) bool {
+	//lint:ignore floateq,noprint one directive may name several checks
+	return a == b
+}
+
+func eqOtherCheck(a, b float64) bool {
+	//lint:ignore noprint directive for a different check does not apply
+	return a == b // want "exact float comparison a==b"
+}
+
+func eqFlagged(a, b float64) bool {
+	return a != b // want "exact float comparison a!=b"
+}

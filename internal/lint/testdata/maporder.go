@@ -1,0 +1,56 @@
+// Fixture for the maporder check: result assembly inside an unordered
+// map range is flagged unless the collected slice is sorted afterwards.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+func leakyKeys(m map[int]float64) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want "append inside range over map m"
+	}
+	return out
+}
+
+func leakyField(m map[string]int) {
+	var res struct{ names []string }
+	for k := range m {
+		res.names = append(res.names, k) // want "append inside range over map m"
+	}
+	_ = res
+}
+
+func emits(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "emits in nondeterministic order"
+	}
+}
+
+func sortedAfter(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // ok: keys sorted below
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func sortedSlice(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // ok: sorted with sort.Slice below
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // ok: slices iterate in order
+	}
+	return out
+}

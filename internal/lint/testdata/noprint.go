@@ -1,0 +1,23 @@
+// Fixture for the noprint check (loaded as if it lived under
+// internal/): library packages must not write to stdout/stderr.
+package fixture
+
+import (
+	"fmt"
+	"io"
+)
+
+func chatty() {
+	fmt.Println("hello")    // want "fmt.Println in library package internal/demo"
+	fmt.Printf("x=%d\n", 1) // want "fmt.Printf in library package internal/demo"
+	fmt.Print("y")          // want "fmt.Print in library package internal/demo"
+	println("dbg")          // want "builtin println in library package internal/demo"
+}
+
+func quiet(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "hello"); err != nil { // ok: explicit writer
+		return err
+	}
+	_ = fmt.Sprintf("x=%d", 1) // ok: no output
+	return fmt.Errorf("boom")  // ok: error construction
+}

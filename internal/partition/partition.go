@@ -62,6 +62,7 @@ func byCNOTDensity(progs []*circuit.Circuit) []int {
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
 		da, db := progs[idx[a]].CNOTDensity(), progs[idx[b]].CNOTDensity()
+		//lint:ignore floateq exact tie-break keeps the comparator a strict weak order; an epsilon band would make "equal" intransitive
 		if da != db {
 			return da > db
 		}

@@ -793,7 +793,7 @@ func (r *run) scoreSwap(c swapCandidate, hops [][]int, snaps []progSnapshot) flo
 		if snap.gainOf != nil {
 			gsum := 0.0
 			for k := range snap.front {
-				if snap.gainOf[k] == 0 {
+				if snap.gainOf[k] >= 0 { // gains are negative where set, 0 where irrelevant
 					continue
 				}
 				st := snap.gainST[k]

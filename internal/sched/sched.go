@@ -15,6 +15,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/circuit"
 	"repro/internal/community"
+	"repro/internal/fp"
 	"repro/internal/partition"
 )
 
@@ -183,7 +184,7 @@ func violationOK(d *arch.Device, tree *community.Tree, trial []Job, sepEPST func
 	}
 	for i, j := range trial {
 		sep, err := sepEPST(j)
-		if err != nil || sep == 0 {
+		if err != nil || fp.Zero(sep) {
 			return false
 		}
 		if violation := 1 - co[i]/sep; violation > epsilon {

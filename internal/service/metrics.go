@@ -37,12 +37,12 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // bound land in an implicit overflow bucket.
 type Histogram struct {
 	mu     sync.Mutex
-	bounds []float64
-	counts []int64
-	sum    float64
-	count  int64
-	min    float64
-	max    float64
+	bounds []float64 // immutable after NewHistogram; read under mu with counts
+	counts []int64   // guarded by mu
+	sum    float64   // guarded by mu
+	count  int64     // guarded by mu
+	min    float64   // guarded by mu
+	max    float64   // guarded by mu
 }
 
 // NewHistogram returns a histogram over the given ascending bounds.

@@ -162,14 +162,14 @@ type Service struct {
 	maxQubits int
 
 	mu        sync.Mutex
-	cond      *sync.Cond
-	queue     []*job
-	jobs      map[string]*job
-	seq       int
-	accepting bool
-	draining  bool
-	forced    bool
-	started   bool
+	cond      *sync.Cond      // signals queue/lifecycle changes; Wait called with mu held
+	queue     []*job          // guarded by mu
+	jobs      map[string]*job // guarded by mu
+	seq       int             // guarded by mu
+	accepting bool            // guarded by mu
+	draining  bool            // guarded by mu
+	forced    bool            // guarded by mu
+	started   bool            // guarded by mu
 	wg        sync.WaitGroup
 }
 

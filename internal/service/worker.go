@@ -26,12 +26,11 @@ type worker struct {
 	ctrl  *quos.Controller // nil under PolicyStatic
 	seed  int64            // per-worker deterministic seed counter
 
-	// Guarded by svc.mu.
-	eps         float64
-	busy        bool
-	jobsDone    int64
-	batchesDone int64
-	trace       []cloudsim.BatchRecord
+	eps         float64                // guarded by svc.mu
+	busy        bool                   // guarded by svc.mu
+	jobsDone    int64                  // guarded by svc.mu
+	batchesDone int64                  // guarded by svc.mu
+	trace       []cloudsim.BatchRecord // guarded by svc.mu
 }
 
 // newWorker wires a worker for the device.

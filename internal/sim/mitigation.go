@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/circuit"
+	"repro/internal/fp"
 	"repro/internal/router"
 )
 
@@ -138,7 +139,7 @@ func SimulateScheduleMitigated(d *arch.Device, sched *router.Schedule, progs []*
 func invertReadout(freq []float64, eps []float64) []float64 {
 	out := append([]float64(nil), freq...)
 	for i, e := range eps {
-		if e == 0 {
+		if fp.Zero(e) {
 			continue
 		}
 		den := 1 - 2*e

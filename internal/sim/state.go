@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"repro/internal/circuit"
+	"repro/internal/fp"
 )
 
 // state is a dense statevector over n qubits (amplitude index bit i is
@@ -118,7 +119,7 @@ func (s *state) project(q, outcome int) {
 			s.amps[i] = 0
 		}
 	}
-	if norm == 0 {
+	if fp.Zero(norm) {
 		// Numerically impossible branch; reset to the projected basis
 		// state to stay total.
 		s.amps[0] = 0
