@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench cover experiments examples clean
+.PHONY: all build vet lint test race bench bench-json fuzz-smoke cover experiments examples clean
 
 all: build test
 
@@ -19,10 +19,11 @@ lint:
 
 # The default test path runs vet and qulint first, then the full
 # suite, then the race detector over the concurrent packages (the
-# service, its scheduler dependencies, and the daemon).
+# service, its scheduler dependencies, the daemon, and the sharded
+# simulation/compile engines plus their worker pool).
 test: vet lint
 	$(GO) test ./...
-	$(GO) test -race ./internal/service/... ./internal/sched/... ./internal/cloudsim/... ./cmd/qucloudd/...
+	$(GO) test -race ./internal/service/... ./internal/sched/... ./internal/cloudsim/... ./cmd/qucloudd/... ./internal/sim/... ./internal/core/... ./internal/pool/...
 
 # Full race-detector sweep over every package (slow).
 race:
@@ -35,6 +36,23 @@ test-short:
 # Full benchmark sweep: regenerates every table and figure. Slow (~10 min).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz pass over the two untrusted-input parsers (QASM source and
+# device-spec JSON). Go allows one -fuzz target per invocation, so each
+# gets its own ~10s budget; the checked-in corpora under testdata/fuzz
+# replay on every plain `go test` run as well.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParseQASMString -fuzztime 10s ./internal/circuit
+	$(GO) test -run '^$$' -fuzz FuzzDeviceSpec -fuzztime 10s ./internal/arch
+
+# Machine-readable benchmark record for the parallel engine: the
+# sequential-vs-parallel Simulate micro-benches and the Table 2
+# compile pipeline, rendered to BENCH_parallel.json.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulate(Clifford)?(Sequential|Parallel)$$' -benchtime 3x ./internal/sim \
+		| $(GO) run ./cmd/benchjson -o BENCH_parallel.json -label simulate
+	$(GO) test -run '^$$' -bench 'BenchmarkTable2$$' -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -o BENCH_parallel.json -label table2 -append
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,151 @@
+// benchjson converts `go test -bench` text output on stdin into a
+// machine-readable JSON record. Each invocation parses one benchmark
+// run into a labelled group; -append merges the group into an existing
+// file so a Makefile target can collect several runs (different
+// packages require different `go test` invocations) into one document.
+//
+// Usage:
+//
+//	go test -bench . ./internal/sim | go run ./cmd/benchjson -o BENCH.json -label simulate
+//	go test -bench Table2 .         | go run ./cmd/benchjson -o BENCH.json -label table2 -append
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one result line, e.g.
+// "BenchmarkSimulateParallel-8  3  41532100 ns/op  1024 B/op  12 allocs/op".
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Group is the output of a single `go test -bench` run.
+type Group struct {
+	Label      string      `json:"label"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Package    string      `json:"package,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Document is the whole JSON file: one group per bench invocation.
+type Document struct {
+	Groups []Group `json:"groups"`
+}
+
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: strings.TrimPrefix(fields[0], "Benchmark"), Procs: 1}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	// Remaining fields come in "<value> <unit>" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	return b, b.NsPerOp > 0
+}
+
+func parse(r io.Reader, label string) (Group, error) {
+	g := Group{Label: label, Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			g.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			g.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			g.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			g.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		default:
+			if b, ok := parseBenchLine(line); ok {
+				g.Benchmarks = append(g.Benchmarks, b)
+			}
+		}
+	}
+	return g, sc.Err()
+}
+
+func run(in io.Reader, out string, label string, appendMode bool) error {
+	g, err := parse(in, label)
+	if err != nil {
+		return err
+	}
+	if len(g.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines found on stdin")
+	}
+	var doc Document
+	if appendMode {
+		data, err := os.ReadFile(out)
+		if err != nil {
+			return fmt.Errorf("-append: %w", err)
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("-append: parsing %s: %w", out, err)
+		}
+		// Re-running a labelled stage replaces its previous group.
+		kept := doc.Groups[:0]
+		for _, old := range doc.Groups {
+			if old.Label != label {
+				kept = append(kept, old)
+			}
+		}
+		doc.Groups = kept
+	}
+	doc.Groups = append(doc.Groups, g)
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(data, '\n'), 0o644)
+}
+
+func main() {
+	out := flag.String("o", "BENCH.json", "output JSON file")
+	label := flag.String("label", "bench", "label for this benchmark group")
+	appendMode := flag.Bool("append", false, "merge into an existing output file instead of overwriting")
+	flag.Parse()
+	if err := run(os.Stdin, *out, *label, *appendMode); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

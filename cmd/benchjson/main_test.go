@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/sim
+cpu: Intel(R) Xeon(R)
+BenchmarkSimulateSequential-8   	       3	 123456789 ns/op	    2048 B/op	      17 allocs/op
+BenchmarkSimulateParallel-8     	       3	  41152263 ns/op
+PASS
+ok  	repro/internal/sim	1.234s
+`
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkSimulateParallel-8   3   41152263 ns/op   1024 B/op   12 allocs/op")
+	if !ok {
+		t.Fatal("expected a parse")
+	}
+	if b.Name != "SimulateParallel" || b.Procs != 8 || b.Iterations != 3 {
+		t.Fatalf("bad header fields: %+v", b)
+	}
+	if b.NsPerOp != 41152263 || b.BytesPerOp != 1024 || b.AllocsPerOp != 12 {
+		t.Fatalf("bad metric fields: %+v", b)
+	}
+	for _, line := range []string{"PASS", "ok  repro 1.2s", "goos: linux", "Benchmark 3", "BenchmarkX notanint 5 ns/op"} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Fatalf("line %q should not parse as a benchmark", line)
+		}
+	}
+}
+
+func TestRunWriteAndAppend(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(strings.NewReader(sampleBenchOutput), out, "simulate", false); err != nil {
+		t.Fatal(err)
+	}
+	second := "BenchmarkTable2-1 1 987654321 ns/op\n"
+	if err := run(strings.NewReader(second), out, "table2", true); err != nil {
+		t.Fatal(err)
+	}
+	// Re-running a label replaces its group instead of duplicating it.
+	if err := run(strings.NewReader(second), out, "table2", true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Groups) != 2 {
+		t.Fatalf("got %d groups, want 2: %+v", len(doc.Groups), doc.Groups)
+	}
+	if doc.Groups[0].Label != "simulate" || len(doc.Groups[0].Benchmarks) != 2 {
+		t.Fatalf("bad simulate group: %+v", doc.Groups[0])
+	}
+	if doc.Groups[0].Goos != "linux" || doc.Groups[0].Package != "repro/internal/sim" {
+		t.Fatalf("environment lines not captured: %+v", doc.Groups[0])
+	}
+	if doc.Groups[1].Label != "table2" || doc.Groups[1].Benchmarks[0].Name != "Table2" {
+		t.Fatalf("bad table2 group: %+v", doc.Groups[1])
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(strings.NewReader("PASS\n"), out, "x", false); err == nil {
+		t.Fatal("expected an error for input with no benchmark lines")
+	}
+}

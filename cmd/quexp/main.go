@@ -17,16 +17,21 @@ import (
 	qucloud "repro"
 	"repro/internal/arch"
 	"repro/internal/community"
+	"repro/internal/pool"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table2, table3, fig8, fig9, fig14, scale, clifford, staleness, all")
-		seed   = flag.Int64("seed", 0, "calibration seed")
-		trials = flag.Int("trials", 2000, "Monte-Carlo trials per PST estimate")
-		days   = flag.Int("days", 21, "calibration days for the fig9 sweep")
+		exp      = flag.String("exp", "all", "experiment: table2, table3, fig8, fig9, fig14, scale, clifford, staleness, all")
+		seed     = flag.Int64("seed", 0, "calibration seed")
+		trials   = flag.Int("trials", 2000, "Monte-Carlo trials per PST estimate")
+		days     = flag.Int("days", 21, "calibration days for the fig9 sweep")
+		parallel = flag.Int("parallel", 0, "worker goroutines for compile/simulate fan-out (0 = GOMAXPROCS, 1 = sequential); results are identical at every setting")
 	)
 	flag.Parse()
+	if *parallel > 0 {
+		pool.SetDefault(*parallel)
+	}
 
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {

@@ -1,0 +1,141 @@
+package qucloud
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/nisqbench"
+	"repro/internal/sim"
+)
+
+// fingerprint serializes everything a compile+simulate run produces
+// that callers can observe, with floats in hex so the comparison is
+// byte-exact, not approximate.
+func fingerprint(res *Result, psts []float64) string {
+	s := fmt.Sprintf("cnots=%d depth=%d swaps=%d inter=%d", res.CNOTs, res.Depth, res.Swaps, res.InterSwaps)
+	for _, p := range psts {
+		s += fmt.Sprintf(" %x", p)
+	}
+	return s
+}
+
+// withGOMAXPROCS runs f under the given GOMAXPROCS setting and
+// restores the previous value.
+func withGOMAXPROCS(n int, f func()) {
+	prev := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(prev)
+	f()
+}
+
+// TestCompileSimulateDeterministicAcrossGOMAXPROCS is the PR's central
+// differential guarantee, table-driven over every strategy: with
+// Workers=0 the compiler sizes its fan-out from the pool default
+// (GOMAXPROCS), so running the same workload at GOMAXPROCS 1, 2, and 8
+// exercises the sequential path and two parallel widths — and all three
+// must produce byte-identical CNOT/depth/swap counts and PSTs.
+func TestCompileSimulateDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	progs := []*circuit.Circuit{nisqbench.MustGet("bv_n3"), nisqbench.MustGet("3_17_13")}
+	const trials = 1100 // spans multiple RNG shards
+	for _, strat := range Strategies {
+		t.Run(strat.String(), func(t *testing.T) {
+			var prints []string
+			for _, gmp := range []int{1, 2, 8} {
+				withGOMAXPROCS(gmp, func() {
+					comp := NewCompiler(arch.IBMQ16(0))
+					comp.Attempts = 2
+					res, err := comp.Compile(progs, strat)
+					if err != nil {
+						t.Fatalf("GOMAXPROCS=%d: Compile: %v", gmp, err)
+					}
+					psts, err := comp.Simulate(res, trials, 9, sim.DefaultNoise())
+					if err != nil {
+						t.Fatalf("GOMAXPROCS=%d: Simulate: %v", gmp, err)
+					}
+					prints = append(prints, fingerprint(res, psts))
+				})
+			}
+			for i := 1; i < len(prints); i++ {
+				if prints[i] != prints[0] {
+					t.Fatalf("results diverge across GOMAXPROCS:\n  gmp=1: %s\n  other: %s", prints[0], prints[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDriverRowsDeterministicAcrossGOMAXPROCS checks the same property
+// one layer up, through the experiment drivers that fan out whole rows.
+func TestDriverRowsDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	var t2 [][]Table2Row
+	var t3 [][]Table3Row
+	for _, gmp := range []int{1, 2, 8} {
+		withGOMAXPROCS(gmp, func() {
+			rows2, err := RunTable2Subset(0, 400, []int{0, 1})
+			if err != nil {
+				t.Fatalf("GOMAXPROCS=%d: RunTable2Subset: %v", gmp, err)
+			}
+			t2 = append(t2, rows2)
+			rows3, err := RunTable3Subset(0, []int{0})
+			if err != nil {
+				t.Fatalf("GOMAXPROCS=%d: RunTable3Subset: %v", gmp, err)
+			}
+			t3 = append(t3, rows3)
+		})
+	}
+	for i := 1; i < len(t2); i++ {
+		if !reflect.DeepEqual(t2[i], t2[0]) {
+			t.Fatalf("Table2 rows diverge across GOMAXPROCS:\n  first: %+v\n  other: %+v", t2[0], t2[i])
+		}
+		if !reflect.DeepEqual(t3[i], t3[0]) {
+			t.Fatalf("Table3 rows diverge across GOMAXPROCS:\n  first: %+v\n  other: %+v", t3[0], t3[i])
+		}
+	}
+}
+
+// TestParallelSimulateSpeedup checks the point of all this: on a
+// multi-core machine the sharded engine must actually be faster. It
+// needs real cores to mean anything, so it skips on small runners
+// (including the single-CPU CI container).
+func TestParallelSimulateSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for a meaningful speedup measurement, have %d", runtime.NumCPU())
+	}
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	progs := []*circuit.Circuit{nisqbench.MustGet("bv_n3"), nisqbench.MustGet("3_17_13")}
+	comp := NewCompiler(arch.IBMQ16(0))
+	res, err := comp.Compile(progs, CDAPXSwap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 16 * 1024 // 32 shards: plenty to amortize fan-out overhead
+	run := func(workers int) (time.Duration, []float64) {
+		comp.Workers = workers
+		// Warm-up run excludes one-time costs (artifact cache fills).
+		if _, err := comp.Simulate(res, 2048, 9, sim.DefaultNoise()); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		psts, err := comp.Simulate(res, trials, 9, sim.DefaultNoise())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start), psts
+	}
+	seqTime, seqPSTs := run(1)
+	parTime, parPSTs := run(8)
+	if !reflect.DeepEqual(seqPSTs, parPSTs) {
+		t.Fatalf("parallel PSTs %v differ from sequential %v", parPSTs, seqPSTs)
+	}
+	speedup := float64(seqTime) / float64(parTime)
+	t.Logf("sequential %v, 8 workers %v, speedup %.2fx", seqTime, parTime, speedup)
+	if speedup < 3 {
+		t.Fatalf("8-worker speedup %.2fx, want >= 3x (sequential %v, parallel %v)", speedup, seqTime, parTime)
+	}
+}

@@ -1,10 +1,9 @@
 package qucloud
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/arch"
@@ -12,6 +11,7 @@ import (
 	"repro/internal/community"
 	"repro/internal/nisqbench"
 	"repro/internal/partition"
+	"repro/internal/pool"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -64,31 +64,50 @@ func (r Table2Row) Avg(s Strategy) float64 {
 // given IBMQ16 calibration, it compiles under all six strategies and
 // estimates PST with `trials` Monte-Carlo trials per run. Strategies
 // that fail to co-locate a workload fall back to separate execution, as
-// Algorithm 2 prescribes.
+// Algorithm 2 prescribes. Workloads run in parallel across the worker
+// pool; the simulation seed is a function of the workload index, so the
+// table is identical at every parallelism level.
 func RunTable2(calSeed int64, trials int) ([]Table2Row, error) {
+	all := make([]int, len(Table2Workloads))
+	for i := range all {
+		all[i] = i
+	}
+	return RunTable2Subset(calSeed, trials, all)
+}
+
+// RunTable2Subset runs only the given workload indices (0-based into
+// Table2Workloads); tests and quick benchmarks use it to bound runtime.
+func RunTable2Subset(calSeed int64, trials int, workloadIndices []int) ([]Table2Row, error) {
 	d := arch.IBMQ16(calSeed)
 	noise := sim.DefaultNoise()
-	var rows []Table2Row
-	for wi, w := range Table2Workloads {
+	rows := make([]Table2Row, len(workloadIndices))
+	err := pool.ForEach(context.Background(), len(workloadIndices), 0, func(ri int) error {
+		wi := workloadIndices[ri]
+		w := Table2Workloads[wi]
 		progs := []*circuit.Circuit{nisqbench.MustGet(w[0]), nisqbench.MustGet(w[1])}
 		row := Table2Row{W1: w[0], W2: w[1], PST: map[Strategy][2]float64{}}
 		for _, strat := range Strategies {
 			comp := NewCompiler(d)
+			comp.Workers = 1 // rows already fan out; keep inner work sequential
 			res, err := comp.Compile(progs, strat)
 			if err != nil {
 				// Fall back to separate execution (Algorithm 2 line 9).
 				res, err = comp.Compile(progs, Separate)
 				if err != nil {
-					return nil, fmt.Errorf("table2 %s+%s %s: %w", w[0], w[1], strat, err)
+					return fmt.Errorf("table2 %s+%s %s: %w", w[0], w[1], strat, err)
 				}
 			}
 			psts, err := comp.Simulate(res, trials, 1000+int64(wi), noise)
 			if err != nil {
-				return nil, fmt.Errorf("table2 %s+%s %s: %w", w[0], w[1], strat, err)
+				return fmt.Errorf("table2 %s+%s %s: %w", w[0], w[1], strat, err)
 			}
 			row.PST[strat] = [2]float64{psts[0] * 100, psts[1] * 100}
 		}
-		rows = append(rows, row)
+		rows[ri] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -123,56 +142,47 @@ func RunTable3Subset(calSeed int64, mixIndices []int) ([]Table3Row, error) {
 	d := arch.IBMQ50(calSeed)
 	d.Hops() // warm the shared distance cache before fanning out
 	rows := make([]Table3Row, len(mixIndices))
-	errs := make([]error, len(mixIndices))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for ri, mi := range mixIndices {
-		wg.Add(1)
-		go func(ri, mi int, mix []string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			progs := make([]*circuit.Circuit, len(mix))
-			for i, name := range mix {
-				progs[i] = nisqbench.MustGet(name)
-			}
-			row := Table3Row{
-				Mix:        fmt.Sprintf("Mix_%d", mi+1),
-				Benchmarks: mix,
-				CNOTs:      map[Strategy]int{},
-				Depth:      map[Strategy]int{},
-			}
-			for _, strat := range Table3Strategies {
-				comp := NewCompiler(d)
-				// Table III measures pure compilation overhead of the
-				// published algorithms: the baseline's transition is
-				// noise-aware SABRE (Das et al.), while SABRE and the
-				// QuCloud variants score SWAPs by distance only.
-				if strat != Baseline {
-					comp.NoisePenalty = 0
-				}
-				res, err := comp.Compile(progs, strat)
-				if err != nil {
-					// A strategy that cannot co-locate the mix reverts
-					// to separate execution (Algorithm 2 line 9); its
-					// overheads are the separate-compilation totals.
-					res, err = comp.Compile(progs, Separate)
-					if err != nil {
-						errs[ri] = fmt.Errorf("table3 %s %s: %w", row.Mix, strat, err)
-						return
-					}
-				}
-				row.CNOTs[strat] = res.CNOTs
-				row.Depth[strat] = res.Depth
-			}
-			rows[ri] = row
-		}(ri, mi, Table3Mixes[mi])
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	err := pool.ForEach(context.Background(), len(mixIndices), 0, func(ri int) error {
+		mi := mixIndices[ri]
+		mix := Table3Mixes[mi]
+		progs := make([]*circuit.Circuit, len(mix))
+		for i, name := range mix {
+			progs[i] = nisqbench.MustGet(name)
 		}
+		row := Table3Row{
+			Mix:        fmt.Sprintf("Mix_%d", mi+1),
+			Benchmarks: mix,
+			CNOTs:      map[Strategy]int{},
+			Depth:      map[Strategy]int{},
+		}
+		for _, strat := range Table3Strategies {
+			comp := NewCompiler(d)
+			comp.Workers = 1 // mixes already fan out; keep inner work sequential
+			// Table III measures pure compilation overhead of the
+			// published algorithms: the baseline's transition is
+			// noise-aware SABRE (Das et al.), while SABRE and the
+			// QuCloud variants score SWAPs by distance only.
+			if strat != Baseline {
+				comp.NoisePenalty = 0
+			}
+			res, err := comp.Compile(progs, strat)
+			if err != nil {
+				// A strategy that cannot co-locate the mix reverts
+				// to separate execution (Algorithm 2 line 9); its
+				// overheads are the separate-compilation totals.
+				res, err = comp.Compile(progs, Separate)
+				if err != nil {
+					return fmt.Errorf("table3 %s %s: %w", row.Mix, strat, err)
+				}
+			}
+			row.CNOTs[strat] = res.CNOTs
+			row.Depth[strat] = res.Depth
+		}
+		rows[ri] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -285,7 +295,10 @@ func RunFig14(calSeed int64, epsilons []float64, trials int) ([]Fig14Point, erro
 
 // runBatches compiles and simulates every batch (CDAP+X-SWAP for
 // multi-program batches, separate otherwise) and returns the mean PST
-// over all jobs, in percent.
+// over all jobs, in percent. Batches run in parallel (the Compiler is
+// safe for concurrent use); each batch writes its PSTs to its own index
+// and the float accumulation happens in batch order afterwards, so the
+// mean is bit-identical at every parallelism level.
 func runBatches(d *arch.Device, jobs []sched.Job, batches []sched.Batch, trials int) (float64, error) {
 	byID := map[int]*circuit.Circuit{}
 	for _, j := range jobs {
@@ -293,9 +306,11 @@ func runBatches(d *arch.Device, jobs []sched.Job, batches []sched.Batch, trials 
 	}
 	comp := NewCompiler(d)
 	comp.Attempts = 2 // keep queue-level experiments tractable
+	comp.Workers = 1  // batches already fan out; keep inner work sequential
 	noise := sim.DefaultNoise()
-	total, count := 0.0, 0
-	for bi, b := range batches {
+	perBatch := make([][]float64, len(batches))
+	err := pool.ForEach(context.Background(), len(batches), 0, func(bi int) error {
+		b := batches[bi]
 		progs := make([]*circuit.Circuit, len(b.JobIDs))
 		for i, id := range b.JobIDs {
 			progs[i] = byID[id]
@@ -309,13 +324,21 @@ func runBatches(d *arch.Device, jobs []sched.Job, batches []sched.Batch, trials 
 			// Co-location infeasible at compile time: run separately.
 			res, err = comp.Compile(progs, Separate)
 			if err != nil {
-				return 0, err
+				return err
 			}
 		}
 		psts, err := comp.Simulate(res, trials, 4000+int64(bi), noise)
 		if err != nil {
-			return 0, err
+			return err
 		}
+		perBatch[bi] = psts
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total, count := 0.0, 0
+	for _, psts := range perBatch {
 		for _, p := range psts {
 			total += p * 100
 			count++
@@ -456,17 +479,20 @@ func RunCliffordFidelity(calSeed int64, trials int) ([]CliffordRow, error) {
 	d := arch.IBMQ50(calSeed)
 	progs := CliffordWorkload()
 	noise := sim.DefaultNoise()
-	var rows []CliffordRow
-	for _, strat := range []Strategy{Separate, Baseline, CDAPXSwap} {
+	strategies := []Strategy{Separate, Baseline, CDAPXSwap}
+	rows := make([]CliffordRow, len(strategies))
+	err := pool.ForEach(context.Background(), len(strategies), 0, func(si int) error {
+		strat := strategies[si]
 		comp := NewCompiler(d)
 		comp.Attempts = 2
+		comp.Workers = 1 // strategies already fan out; keep inner work sequential
 		res, err := comp.Compile(progs, strat)
 		if err != nil {
-			return nil, fmt.Errorf("clifford %s: %w", strat, err)
+			return fmt.Errorf("clifford %s: %w", strat, err)
 		}
 		psts, err := comp.SimulateClifford(res, trials, 7000, noise)
 		if err != nil {
-			return nil, fmt.Errorf("clifford %s: %w", strat, err)
+			return fmt.Errorf("clifford %s: %w", strat, err)
 		}
 		row := CliffordRow{Strategy: strat, CNOTs: res.CNOTs, Depth: res.Depth}
 		sum := 0.0
@@ -475,7 +501,11 @@ func RunCliffordFidelity(calSeed int64, trials int) ([]CliffordRow, error) {
 			sum += p * 100
 		}
 		row.Avg = sum / float64(len(psts))
-		rows = append(rows, row)
+		rows[si] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -86,6 +86,7 @@ func ApplyCalibration(d *Device, cal Calibration) {
 	}
 	copy(d.ReadoutErr, cal.ReadoutErr)
 	copy(d.Gate1Err, cal.Gate1Err)
+	d.InvalidateArtifacts()
 }
 
 // CalibrationSeries returns `days` successive calibrations for the

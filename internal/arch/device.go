@@ -36,6 +36,69 @@ type Device struct {
 
 	hopsOnce sync.Once
 	hops     [][]int // lazily computed all-pairs hop distances
+
+	artMu      sync.Mutex
+	calVersion uint64                    // guarded by d.artMu
+	artifacts  map[artifactKey]*artifact // guarded by d.artMu
+}
+
+// artifactKey identifies one derived artifact in the device cache: the
+// calibration version it was computed from, a kind tag (e.g.
+// "arch/errdist", "community/tree"), and one numeric parameter (0 when
+// the artifact takes none).
+type artifactKey struct {
+	version uint64
+	kind    string
+	param   float64
+}
+
+// artifact is one cache slot; once guards the single build so
+// concurrent requesters of the same key share one computation.
+type artifact struct {
+	once sync.Once
+	val  any
+}
+
+// CalibrationVersion returns the device's calibration version counter;
+// ApplyCalibration and InvalidateArtifacts bump it, retiring every
+// cached artifact derived from older error data.
+func (d *Device) CalibrationVersion() uint64 {
+	d.artMu.Lock()
+	defer d.artMu.Unlock()
+	return d.calVersion
+}
+
+// Artifact returns the derived artifact for (kind, param) under the
+// current calibration version, invoking build at most once per key even
+// under concurrent callers. The returned value is shared: callers must
+// treat it as immutable. Distinct keys build concurrently; only the
+// map bookkeeping is serialized.
+func (d *Device) Artifact(kind string, param float64, build func() any) any {
+	d.artMu.Lock()
+	if d.artifacts == nil {
+		d.artifacts = map[artifactKey]*artifact{}
+	}
+	key := artifactKey{version: d.calVersion, kind: kind, param: param}
+	a, ok := d.artifacts[key]
+	if !ok {
+		a = &artifact{}
+		d.artifacts[key] = a
+	}
+	d.artMu.Unlock()
+	a.once.Do(func() { a.val = build() })
+	return a.val
+}
+
+// InvalidateArtifacts drops every cached derived artifact by bumping
+// the calibration version. Call it after mutating the device's error
+// data in place; ApplyCalibration does so automatically. Artifact
+// values already handed out stay valid for their callers — they are
+// simply rebuilt on next request.
+func (d *Device) InvalidateArtifacts() {
+	d.artMu.Lock()
+	defer d.artMu.Unlock()
+	d.calVersion++
+	d.artifacts = map[artifactKey]*artifact{}
 }
 
 // NumQubits returns the number of physical qubits on the device.
@@ -177,8 +240,16 @@ func (d *Device) Utility(q int, free []bool) float64 {
 // ErrWeightedDistance returns an all-pairs "noise distance" matrix where
 // each link's length is 1 + penalty * (-log(reliability)). Noise-aware
 // SABRE uses it so routes prefer reliable links; with penalty = 0 it
-// degenerates to plain hop counts.
+// degenerates to plain hop counts. The matrix is cached per
+// (calibration version, penalty) and shared: callers must not modify
+// it.
 func (d *Device) ErrWeightedDistance(penalty float64) [][]float64 {
+	return d.Artifact("arch/errdist", penalty, func() any {
+		return d.errWeightedDistance(penalty)
+	}).([][]float64)
+}
+
+func (d *Device) errWeightedDistance(penalty float64) [][]float64 {
 	n := d.NumQubits()
 	g := graph.New(n)
 	for e, errRate := range d.CNOTErr {

@@ -1,0 +1,60 @@
+package arch
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzDeviceSpec asserts the spec loader's safety contract on arbitrary
+// JSON: it must return an error or a valid device, never panic (the
+// graph package panics on self-loops and out-of-range vertices, so
+// FromSpec has to screen them) and never size allocations by a qubit
+// count the supplied data doesn't back. On success the device must pass
+// Validate and Save/Load must be a fixed point of Spec(): duplicate
+// edges collapse on first load, so the canonical spec round-trips
+// exactly.
+func FuzzDeviceSpec(f *testing.F) {
+	var london bytes.Buffer
+	if err := SaveDevice(&london, London()); err != nil {
+		f.Fatal(err)
+	}
+	seeds := []string{
+		london.String(),
+		`{"name":"pair","qubits":2,"edges":[[0,1]],"cnot_err":[0.01],"readout_err":[0.02,0.03],"gate1_err":[0.001,0.001]}`,
+		// Former crashers: self-loop and out-of-range edges panicked in
+		// graph.AddEdge; a huge qubit count allocated gigabytes before
+		// any validation ran. All must stay plain errors.
+		`{"name":"loop","qubits":2,"edges":[[1,1]],"cnot_err":[0.01],"readout_err":[0,0],"gate1_err":[0,0]}`,
+		`{"name":"oob","qubits":2,"edges":[[0,7]],"cnot_err":[0.01],"readout_err":[0,0],"gate1_err":[0,0]}`,
+		`{"name":"huge","qubits":1000000000,"edges":[],"cnot_err":[],"readout_err":[],"gate1_err":[]}`,
+		`{"name":"dup","qubits":2,"edges":[[0,1],[1,0]],"cnot_err":[0.01,0.02],"readout_err":[0,0],"gate1_err":[0,0]}`,
+		`{}`,
+		`not json`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := LoadDevice(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("loaded device fails Validate: %v\nsource:\n%s", err, src)
+		}
+		spec1 := d.Spec()
+		var buf bytes.Buffer
+		if err := SaveDevice(&buf, d); err != nil {
+			t.Fatalf("saving loaded device: %v", err)
+		}
+		d2, err := LoadDevice(&buf)
+		if err != nil {
+			t.Fatalf("canonical spec does not reload: %v\nsource:\n%s", err, src)
+		}
+		if spec2 := d2.Spec(); !reflect.DeepEqual(spec1, spec2) {
+			t.Fatalf("Save/Load round-trip changed the spec\nfirst:  %+v\nsecond: %+v", spec1, spec2)
+		}
+	})
+}

@@ -49,12 +49,28 @@ func FromSpec(spec DeviceSpec) (*Device, error) {
 		return nil, fmt.Errorf("arch: spec %q has %d edges but %d cnot_err entries",
 			spec.Name, len(spec.Edges), len(spec.CNOTErr))
 	}
+	// Validate edges before handing them to the graph package, whose
+	// AddEdge panics on self-loops and out-of-range vertices; untrusted
+	// specs (fuzzed or user-imported) must fail with an error instead.
+	for i, e := range spec.Edges {
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("arch: spec %q edge %d is a self-loop at qubit %d", spec.Name, i, e[0])
+		}
+		for _, q := range e {
+			if q < 0 || q >= spec.Qubits {
+				return nil, fmt.Errorf("arch: spec %q edge %d endpoint %d out of range [0,%d)", spec.Name, i, q, spec.Qubits)
+			}
+		}
+	}
+	// Checking the per-qubit arrays before allocating the device also
+	// bounds Qubits by data the caller actually supplied, so a bogus
+	// huge qubit count cannot trigger a pathological allocation.
+	if len(spec.ReadoutErr) != spec.Qubits || len(spec.Gate1Err) != spec.Qubits {
+		return nil, fmt.Errorf("arch: spec %q per-qubit arrays must have %d entries", spec.Name, spec.Qubits)
+	}
 	d := newDevice(spec.Name, spec.Qubits, spec.Edges)
 	for i, e := range spec.Edges {
 		d.CNOTErr[graph.NewEdge(e[0], e[1])] = spec.CNOTErr[i]
-	}
-	if len(spec.ReadoutErr) != spec.Qubits || len(spec.Gate1Err) != spec.Qubits {
-		return nil, fmt.Errorf("arch: spec %q per-qubit arrays must have %d entries", spec.Name, spec.Qubits)
 	}
 	copy(d.ReadoutErr, spec.ReadoutErr)
 	copy(d.Gate1Err, spec.Gate1Err)

@@ -1,0 +1,49 @@
+package circuit
+
+import (
+	"testing"
+)
+
+// FuzzParseQASMString asserts the parser's safety contract on arbitrary
+// input: it must return an error or a valid circuit, never panic, hang,
+// or allocate without bound. On success the circuit must pass Validate
+// and survive a canonical round-trip: QASMString renders a program the
+// parser accepts again, and rendering that reparse reproduces the same
+// text byte for byte.
+func FuzzParseQASMString(f *testing.F) {
+	seeds := []string{
+		sampleQASM,
+		gateDefQASM,
+		"OPENQASM 2.0;\nqreg q[3];\ncreg c[3];\nccx q[0],q[1],q[2];\nmeasure q -> c;\n",
+		"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\nrz(-pi/4) q[0];\ncx q[0],q[1];\nbarrier q;\nmeasure q[0] -> c[0];\n",
+		"OPENQASM 2.0;\nqreg q[1];\nu3(1e-07,2.5,-0.25) q[0];\n",
+		"OPENQASM 2.0;\nqreg q[2];\ngate foo a, b { cx a, b; h a; }\nfoo q[1], q[0];\n",
+		// Former crashers: each of these once panicked or recursed
+		// without bound; they must stay plain parse errors.
+		"OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[5];\n",            // operand out of range
+		"OPENQASM 2.0;\nqreg q[3];\nccx q[0],q[0],q[2];\n",      // duplicate ccx qubits
+		"OPENQASM 2.0;\nqreg q[1];\ngate g a { g a; }\ng q[0];", // recursive gate def
+		"OPENQASM 2.0;\nqreg q[999999999];\n",                   // oversized register
+		"OPENQASM 2.0;\nqreg q[1];\nrz(1e308*10) q[0];\n",       // non-finite parameter
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseQASMString("fuzz", src)
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("parsed circuit fails Validate: %v\nsource:\n%s", err, src)
+		}
+		s1 := QASMString(c)
+		c2, err := ParseQASMString("fuzz-rt", s1)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %v\ncanonical:\n%s\nsource:\n%s", err, s1, src)
+		}
+		if s2 := QASMString(c2); s1 != s2 {
+			t.Fatalf("round-trip is not a fixed point\nfirst:\n%s\nsecond:\n%s", s1, s2)
+		}
+	})
+}

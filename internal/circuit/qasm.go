@@ -99,11 +99,24 @@ type gateDef struct {
 	body   []string // ';'-separated body statements
 }
 
+// Parser robustness limits: untrusted QASM (user uploads, fuzzing) must
+// fail with an error, never panic, recurse unboundedly, or allocate
+// pathologically.
+const (
+	// maxQASMQubits caps a qreg declaration; it is far above every chip
+	// and benchmark in this repository.
+	maxQASMQubits = 4096
+	// maxGateExpansionDepth caps nested user-gate expansion, rejecting
+	// (mutually) recursive gate definitions such as `gate g a { g a; }`.
+	maxGateExpansionDepth = 64
+)
+
 type qasmParser struct {
-	name string
-	c    *Circuit
-	qreg string
-	defs map[string]*gateDef
+	name  string
+	c     *Circuit
+	qreg  string
+	defs  map[string]*gateDef
+	depth int // current user-gate expansion depth
 }
 
 func (p *qasmParser) statement(stmt string) error {
@@ -228,6 +241,9 @@ func (p *qasmParser) apply(stmt string, qbind map[string]int, pbind map[string]f
 		if len(qubits) != 3 {
 			return fmt.Errorf("ccx takes 3 qubits")
 		}
+		if qubits[0] == qubits[1] || qubits[0] == qubits[2] || qubits[1] == qubits[2] {
+			return fmt.Errorf("ccx qubits must be distinct, got %v", qubits)
+		}
 		AppendToffoli(p.c, qubits[0], qubits[1], qubits[2])
 		return nil
 	}
@@ -250,6 +266,11 @@ func (p *qasmParser) apply(stmt string, qbind map[string]int, pbind map[string]f
 	for i, pn := range def.params {
 		pb[pn] = params[i]
 	}
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxGateExpansionDepth {
+		return fmt.Errorf("gate %q: expansion exceeds depth %d (recursive definition?)", gname, maxGateExpansionDepth)
+	}
 	for _, bs := range def.body {
 		if err := p.apply(bs, qb, pb); err != nil {
 			return fmt.Errorf("in gate %q: %w", gname, err)
@@ -259,7 +280,8 @@ func (p *qasmParser) apply(stmt string, qbind map[string]int, pbind map[string]f
 }
 
 // operand resolves `q[3]` against the quantum register or a bare formal
-// name against the gate-body binding.
+// name against the gate-body binding, rejecting indices outside the
+// declared register (Circuit.Add would panic on them).
 func (p *qasmParser) operand(op string, qbind map[string]int) (int, error) {
 	op = strings.TrimSpace(op)
 	if qbind != nil {
@@ -267,7 +289,14 @@ func (p *qasmParser) operand(op string, qbind map[string]int) (int, error) {
 			return q, nil
 		}
 	}
-	return parseOperand(op, p.qreg)
+	q, err := parseOperand(op, p.qreg)
+	if err != nil {
+		return 0, err
+	}
+	if q >= p.c.NumQubits {
+		return 0, fmt.Errorf("operand %q exceeds register size %d", op, p.c.NumQubits)
+	}
+	return q, nil
 }
 
 func parseRegDecl(s string) (string, int, error) {
@@ -280,6 +309,9 @@ func parseRegDecl(s string) (string, int, error) {
 	size, err := strconv.Atoi(strings.TrimSpace(s[open+1 : closeB]))
 	if err != nil || size <= 0 {
 		return "", 0, fmt.Errorf("bad register size in %q", s)
+	}
+	if size > maxQASMQubits {
+		return "", 0, fmt.Errorf("register size %d exceeds limit %d", size, maxQASMQubits)
 	}
 	return strings.TrimSpace(s[:open]), size, nil
 }
@@ -382,13 +414,32 @@ func evalExprVars(s string, vars map[string]float64) (float64, error) {
 	if p.i != len(p.s) {
 		return 0, fmt.Errorf("trailing garbage in expression %q", s)
 	}
+	// Non-finite parameters (e.g. 1e308*10) would poison simulation and
+	// break the QASM round-trip ("%g" renders +Inf, which won't reparse).
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("expression %q is not finite", s)
+	}
 	return v, nil
 }
 
 type exprParser struct {
-	s    string
-	i    int
-	vars map[string]float64
+	s     string
+	i     int
+	vars  map[string]float64
+	depth int // recursion depth across parens and unary signs
+}
+
+// maxExprDepth bounds the expression parser's recursion so adversarial
+// inputs like "((((…))))" or "-----…1" fail fast instead of growing the
+// stack without limit.
+const maxExprDepth = 256
+
+func (p *exprParser) enter() error {
+	p.depth++
+	if p.depth > maxExprDepth {
+		return fmt.Errorf("expression %q nests deeper than %d", p.s, maxExprDepth)
+	}
+	return nil
 }
 
 func (p *exprParser) skipSpace() {
@@ -451,11 +502,19 @@ func (p *exprParser) parseProduct() (float64, error) {
 func (p *exprParser) parseUnary() (float64, error) {
 	p.skipSpace()
 	if p.i < len(p.s) && p.s[p.i] == '-' {
+		if err := p.enter(); err != nil {
+			return 0, err
+		}
+		defer func() { p.depth-- }()
 		p.i++
 		v, err := p.parseUnary()
 		return -v, err
 	}
 	if p.i < len(p.s) && p.s[p.i] == '+' {
+		if err := p.enter(); err != nil {
+			return 0, err
+		}
+		defer func() { p.depth-- }()
 		p.i++
 		return p.parseUnary()
 	}
@@ -468,6 +527,10 @@ func (p *exprParser) parseAtom() (float64, error) {
 		return 0, fmt.Errorf("unexpected end of expression %q", p.s)
 	}
 	if p.s[p.i] == '(' {
+		if err := p.enter(); err != nil {
+			return 0, err
+		}
+		defer func() { p.depth-- }()
 		p.i++
 		v, err := p.parseSum()
 		if err != nil {

@@ -86,6 +86,19 @@ func (t *Tree) AvgRedundantQubits() float64 {
 	return float64(sum) / float64(cnt)
 }
 
+// BuildCached returns the hierarchy tree for the device's current
+// calibration, building it at most once per (calibration version, ω)
+// through the device's artifact cache. Concurrent callers share one
+// build; the returned tree is shared and must be treated as read-only
+// (Build's output is never mutated by the partitioner). ApplyCalibration
+// or Device.InvalidateArtifacts retire the cached tree, matching the
+// paper's build-once-per-calibration-cycle policy.
+func BuildCached(d *arch.Device, omega float64) *Tree {
+	return d.Artifact("community/tree", omega, func() any {
+		return Build(d, omega)
+	}).(*Tree)
+}
+
 // Build runs Algorithm 1: starting from one community per qubit, it
 // repeatedly merges the pair of communities with the maximum reward
 // F = Q_merged − Q_origin + ω·E·V, where E is the mean CNOT reliability

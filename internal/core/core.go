@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/community"
 	"repro/internal/partition"
+	"repro/internal/pool"
 	"repro/internal/router"
 	"repro/internal/sim"
 )
@@ -92,7 +94,10 @@ func (s *Strategy) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
-// Compiler compiles multi-program workloads onto a device.
+// Compiler compiles multi-program workloads onto a device. A Compiler
+// holds no mutable state (derived artifacts live in the device's
+// calibration-keyed cache), so one instance may be used from concurrent
+// goroutines as long as its exported fields are not being reassigned.
 type Compiler struct {
 	// Device is the target chip.
 	Device *arch.Device
@@ -117,8 +122,11 @@ type Compiler struct {
 	// 4-CNOT bridges instead of SWAPs (extension; off by default to
 	// match the paper's SWAP-only accounting).
 	Bridge bool
-
-	tree *community.Tree // cached hierarchy tree for the calibration
+	// Workers bounds the goroutines used for compilation attempts,
+	// per-program separate compilation, and simulation trial shards:
+	// 0 uses the process default (pool.Default()), 1 forces sequential
+	// execution. Results are identical at every setting.
+	Workers int
 }
 
 // NewCompiler returns a Compiler with the paper's defaults for the
@@ -139,17 +147,19 @@ func NewCompiler(d *arch.Device) *Compiler {
 
 // Tree returns the CDAP hierarchy tree for the current calibration,
 // building it on first use (the paper builds it once per calibration
-// cycle and reuses it).
+// cycle and reuses it). The tree lives in the device's
+// calibration-keyed artifact cache, so concurrent compilers on the same
+// device share one build and a Compiler holds no mutable state of its
+// own — Compile and Simulate are safe for concurrent use.
 func (c *Compiler) Tree() *community.Tree {
-	if c.tree == nil {
-		c.tree = community.Build(c.Device, c.Omega)
-	}
-	return c.tree
+	return community.BuildCached(c.Device, c.Omega)
 }
 
-// InvalidateTree drops the cached hierarchy tree; call after changing
-// the device's calibration data.
-func (c *Compiler) InvalidateTree() { c.tree = nil }
+// InvalidateTree drops every artifact cached for the device's current
+// calibration (the hierarchy tree included); call after changing the
+// device's error data in place. ApplyCalibration invalidates
+// automatically.
+func (c *Compiler) InvalidateTree() { c.Device.InvalidateArtifacts() }
 
 // Result is a compiled workload.
 type Result struct {
@@ -190,16 +200,25 @@ func (c *Compiler) Compile(progs []*circuit.Circuit, strat Strategy) (*Result, e
 	if attempts <= 0 {
 		attempts = 1
 	}
+	// Attempts are independent (seeded per index), so they fan out over
+	// the worker pool; each records its outcome at its own index and
+	// the winner is picked by a seed-order scan afterwards, replicating
+	// the sequential first-best / last-error semantics exactly.
+	results := make([]*Result, attempts)
+	errs := make([]error, attempts)
+	_ = pool.ForEach(context.Background(), attempts, c.Workers, func(i int) error {
+		results[i], errs[i] = c.compileOnce(progs, strat, int64(i)+1)
+		return nil
+	})
 	var best *Result
 	var lastErr error
-	for seed := int64(1); seed <= int64(attempts); seed++ {
-		res, err := c.compileOnce(progs, strat, seed)
-		if err != nil {
-			lastErr = err
+	for i := 0; i < attempts; i++ {
+		if errs[i] != nil {
+			lastErr = errs[i]
 			continue
 		}
-		if best == nil || res.CNOTs < best.CNOTs {
-			best = res
+		if best == nil || results[i].CNOTs < best.CNOTs {
+			best = results[i]
 		}
 	}
 	if best == nil {
@@ -253,13 +272,20 @@ func (c *Compiler) compileOnce(progs []*circuit.Circuit, strat Strategy, seed in
 }
 
 // compileSeparate compiles each program alone: CDAP's single-program
-// allocation (most reliable region) plus noise-aware routing.
+// allocation (most reliable region) plus noise-aware routing. Programs
+// are independent, so they compile in parallel into indexed slots; the
+// totals are assembled in program order afterwards.
 func (c *Compiler) compileSeparate(progs []*circuit.Circuit, seed int64) (*Result, error) {
-	out := &Result{Strategy: Separate, Programs: progs}
-	for _, p := range progs {
+	type sepUnit struct {
+		sched   *router.Schedule
+		mapping []int
+	}
+	units := make([]sepUnit, len(progs))
+	if err := pool.ForEach(context.Background(), len(progs), c.Workers, func(i int) error {
+		p := progs[i]
 		res, err := partition.CDAP(c.Device, c.Tree(), []*circuit.Circuit{p})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		opts := router.DefaultOptions()
 		opts.NoisePenalty = c.NoisePenalty
@@ -267,17 +293,24 @@ func (c *Compiler) compileSeparate(progs []*circuit.Circuit, seed int64) (*Resul
 		opts.Seed = seed
 		mapping, err := router.ReverseTraversal(c.Device, p, res.Assignments[0].InitialMapping, c.Traversals, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s, err := router.RouteSingle(c.Device, p, mapping, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.Schedules = append(out.Schedules, s)
-		out.Initial = append(out.Initial, [][]int{mapping})
-		out.CNOTs += s.CNOTCount()
-		out.Swaps += s.SwapCount
-		if d := s.Depth(); d > out.Depth {
+		units[i] = sepUnit{sched: s, mapping: mapping}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out := &Result{Strategy: Separate, Programs: progs}
+	for _, u := range units {
+		out.Schedules = append(out.Schedules, u.sched)
+		out.Initial = append(out.Initial, [][]int{u.mapping})
+		out.CNOTs += u.sched.CNOTCount()
+		out.Swaps += u.sched.SwapCount
+		if d := u.sched.Depth(); d > out.Depth {
 			out.Depth = d
 		}
 	}
@@ -370,7 +403,7 @@ func (c *Compiler) Simulate(r *Result, trials int, seed int64, noise sim.NoiseMo
 	if r.Strategy == Separate {
 		psts := make([]float64, len(r.Programs))
 		for i, p := range r.Programs {
-			out, err := sim.SimulateSchedule(c.Device, r.Schedules[i], []*circuit.Circuit{p}, trials, seed+int64(i), noise)
+			out, err := sim.SimulateScheduleWorkers(c.Device, r.Schedules[i], []*circuit.Circuit{p}, trials, seed+int64(i), noise, c.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -378,7 +411,7 @@ func (c *Compiler) Simulate(r *Result, trials int, seed int64, noise sim.NoiseMo
 		}
 		return psts, nil
 	}
-	out, err := sim.SimulateSchedule(c.Device, r.Schedules[0], r.Programs, trials, seed, noise)
+	out, err := sim.SimulateScheduleWorkers(c.Device, r.Schedules[0], r.Programs, trials, seed, noise, c.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -405,7 +438,7 @@ func (c *Compiler) SimulateClifford(r *Result, trials int, seed int64, noise sim
 	if r.Strategy == Separate {
 		psts := make([]float64, len(r.Programs))
 		for i, p := range r.Programs {
-			out, err := sim.SimulateScheduleClifford(c.Device, r.Schedules[i], []*circuit.Circuit{p}, trials, seed+int64(i), noise)
+			out, err := sim.SimulateScheduleCliffordWorkers(c.Device, r.Schedules[i], []*circuit.Circuit{p}, trials, seed+int64(i), noise, c.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -413,7 +446,7 @@ func (c *Compiler) SimulateClifford(r *Result, trials int, seed int64, noise sim
 		}
 		return psts, nil
 	}
-	out, err := sim.SimulateScheduleClifford(c.Device, r.Schedules[0], r.Programs, trials, seed, noise)
+	out, err := sim.SimulateScheduleCliffordWorkers(c.Device, r.Schedules[0], r.Programs, trials, seed, noise, c.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -114,6 +114,7 @@ var deterministicPkgs = map[string]bool{
 	"internal/graph":     true,
 	"internal/nisqbench": true,
 	"internal/partition": true,
+	"internal/pool":      true,
 	"internal/router":    true,
 	"internal/sched":     true,
 	"internal/sim":       true,

@@ -369,6 +369,17 @@ func AllocateGWEF(d *arch.Device, p *circuit.Circuit, region []int) []int {
 		delete(physFree, phys)
 	}
 
+	// freeInOrder visits the still-free region qubits in region order, so
+	// every tie-break below is deterministic (physFree is a map; ranging
+	// over it directly would pick among equal candidates at random).
+	freeInOrder := func(visit func(q int)) {
+		for _, q := range region {
+			if physFree[q] {
+				visit(q)
+			}
+		}
+	}
+
 	// placeNear maps logical l onto the free region qubit closest to
 	// anchor, preferring reliable direct links.
 	placeNear := func(l, anchor int) {
@@ -385,21 +396,22 @@ func AllocateGWEF(d *arch.Device, p *circuit.Circuit, region []int) []int {
 			return
 		}
 		// No free neighbor: take the free region qubit with the fewest
-		// hops to the anchor.
+		// hops to the anchor (first in region order on ties).
 		hops := d.Hops()
 		bestQ, bestHops := -1, 1<<30
-		for q := range physFree {
+		freeInOrder(func(q int) {
 			if hops[anchor][q] >= 0 && hops[anchor][q] < bestHops {
 				bestQ, bestHops = q, hops[anchor][q]
 			}
-		}
+		})
 		if bestQ < 0 {
 			// Region disconnected from anchor (can't happen for
 			// connected regions, but stay total).
-			for q := range physFree {
-				bestQ = q
-				break
-			}
+			freeInOrder(func(q int) {
+				if bestQ < 0 {
+					bestQ = q
+				}
+			})
 		}
 		place(l, bestQ)
 	}
@@ -421,11 +433,16 @@ func AllocateGWEF(d *arch.Device, p *circuit.Circuit, region []int) []int {
 					place(e.v, pu)
 				}
 			} else {
-				// No free link left: place both near each other greedily.
-				for q := range physFree {
-					place(e.u, q)
-					break
-				}
+				// No free link left: place both near each other greedily
+				// (first free qubit in region order keeps this
+				// deterministic).
+				placed := false
+				freeInOrder(func(q int) {
+					if !placed {
+						place(e.u, q)
+						placed = true
+					}
+				})
 				placeNear(e.v, mapping[e.u])
 			}
 		case mu:
@@ -443,10 +460,8 @@ func AllocateGWEF(d *arch.Device, p *circuit.Circuit, region []int) []int {
 		}
 	}
 	var freeList []int
-	for q := range physFree {
-		freeList = append(freeList, q)
-	}
-	sort.Slice(freeList, func(a, b int) bool {
+	freeInOrder(func(q int) { freeList = append(freeList, q) })
+	sort.SliceStable(freeList, func(a, b int) bool {
 		return d.ReadoutErr[freeList[a]] < d.ReadoutErr[freeList[b]]
 	})
 	for i, l := range loose {

@@ -1,0 +1,113 @@
+// Package pool provides the bounded worker pool shared by the parallel
+// compile and simulate paths. It is deliberately tiny: one indexed
+// fan-out primitive (ForEach) plus a process-wide default worker count
+// that cmd/quexp's -parallel flag can override.
+//
+// Determinism contract: ForEach only decides *where* fn(i) runs, never
+// what it computes. Callers keep results bit-stable by writing into
+// index-addressed slices inside fn and reducing them in index order
+// after ForEach returns; no aggregation may depend on completion order.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	defaultMu      sync.Mutex
+	defaultWorkers int // guarded by defaultMu; 0 means GOMAXPROCS
+)
+
+// SetDefault overrides the process-wide default worker count used when
+// ForEach is called with workers <= 0. n <= 0 restores the GOMAXPROCS
+// default.
+func SetDefault(n int) {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers = n
+}
+
+// Default returns the current default worker count: the SetDefault
+// override when present, otherwise GOMAXPROCS.
+func Default() int {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultWorkers > 0 {
+		return defaultWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most `workers`
+// goroutines (workers <= 0 selects Default()) and blocks until all
+// started work finishes. The first error by index wins; once any fn
+// returns an error, or ctx is cancelled, remaining indices are skipped.
+// A nil ctx is treated as context.Background().
+//
+// Callers whose per-index failures must not abort the sweep (e.g.
+// best-of-N compilation attempts) should record errors into an indexed
+// slice inside fn and return nil.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = Default()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Internal cancellation stops the dispatch loop on the first error
+	// without polluting the parent context.
+	inner, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n) // each index written by at most one goroutine
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || inner.Err() != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}

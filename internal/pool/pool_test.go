@@ -1,0 +1,147 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		n := 37
+		hits := make([]int32, n)
+		if err := ForEach(context.Background(), n, workers, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, max int32
+	var mu sync.Mutex
+	err := ForEach(context.Background(), 50, workers, func(i int) error {
+		c := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if c > max {
+			max = c
+		}
+		mu.Unlock()
+		atomic.AddInt32(&cur, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max > workers {
+		t.Fatalf("observed %d concurrent calls, want <= %d", max, workers)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	wantErr := errors.New("boom")
+	err := ForEach(context.Background(), 10, 1, func(i int) error {
+		if i == 3 {
+			return wantErr
+		}
+		if i > 3 {
+			t.Errorf("index %d ran after sequential error", i)
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want %v", err, wantErr)
+	}
+
+	// Parallel path: the recorded error is returned (lowest index among
+	// those that failed before cancellation took effect).
+	err = ForEach(context.Background(), 100, 4, func(i int) error {
+		if i%10 == 9 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("parallel: got %v, want %v", err, wantErr)
+	}
+}
+
+func TestForEachErrorStopsDispatch(t *testing.T) {
+	var ran int32
+	wantErr := errors.New("stop")
+	err := ForEach(context.Background(), 10_000, 2, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want %v", err, wantErr)
+	}
+	if n := atomic.LoadInt32(&ran); n > 100 {
+		t.Fatalf("%d indices ran after first error; dispatch did not stop", n)
+	}
+}
+
+func TestForEachContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	err := ForEach(ctx, 1000, 4, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestForEachNilContextAndEmptyRange(t *testing.T) {
+	if err := ForEach(nil, 0, 4, func(i int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	called := false
+	if err := ForEach(nil, 1, 0, func(i int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("fn not called for n=1")
+	}
+}
+
+func TestForEachNested(t *testing.T) {
+	var total int32
+	err := ForEach(context.Background(), 4, 2, func(i int) error {
+		return ForEach(context.Background(), 4, 2, func(j int) error {
+			atomic.AddInt32(&total, 1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 16 {
+		t.Fatalf("nested ForEach ran %d inner calls, want 16", total)
+	}
+}
+
+func TestSetDefault(t *testing.T) {
+	orig := Default()
+	SetDefault(7)
+	if got := Default(); got != 7 {
+		t.Fatalf("Default() = %d after SetDefault(7)", got)
+	}
+	SetDefault(0)
+	if got := Default(); got < 1 {
+		t.Fatalf("Default() = %d after reset; want >= 1", got)
+	}
+	_ = orig
+}

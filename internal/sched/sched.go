@@ -121,7 +121,7 @@ func Schedule(d *arch.Device, jobs []Job, cfg Config) ([]Batch, error) {
 	if cfg.MaxColocate <= 0 {
 		cfg.MaxColocate = 2
 	}
-	tree := community.Build(d, cfg.Omega)
+	tree := community.BuildCached(d, cfg.Omega)
 	sepCache := map[int]float64{}
 	sepEPST := func(j Job) (float64, error) {
 		if v, ok := sepCache[j.ID]; ok {

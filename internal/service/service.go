@@ -73,6 +73,11 @@ type Config struct {
 	Trials int
 	// Attempts is the compiler's best-of-N seed count.
 	Attempts int
+	// Workers bounds the goroutines each backend worker's compiler uses
+	// for attempt/simulation fan-out (core.Compiler.Workers): 0 uses
+	// the process-wide pool default, 1 forces sequential compilation.
+	// Results are identical at every setting.
+	Workers int
 	// Seed derives each worker's deterministic simulation seeds.
 	Seed int64
 	// Noise is the simulator's noise model.

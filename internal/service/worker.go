@@ -37,6 +37,7 @@ type worker struct {
 func newWorker(s *Service, index int, dev *arch.Device) *worker {
 	comp := core.NewCompiler(dev)
 	comp.Attempts = s.cfg.Attempts
+	comp.Workers = s.cfg.Workers
 	w := &worker{
 		svc:   s,
 		index: index,

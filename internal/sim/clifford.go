@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/arch"
 	"repro/internal/circuit"
+	"repro/internal/pool"
 	"repro/internal/router"
 )
 
@@ -15,7 +17,18 @@ import (
 // every gate in the schedule is Clifford. The reference outcome is the
 // noiseless run with random measurement outcomes resolved to 0,
 // matching the statevector engine's lowest-index modal convention.
+//
+// Trials run sharded over the default worker pool; results are
+// identical at every worker count (see SimulateScheduleWorkers).
 func SimulateScheduleClifford(d *arch.Device, sched *router.Schedule, progs []*circuit.Circuit, trials int, seed int64, noise NoiseModel) (*Outcome, error) {
+	return SimulateScheduleCliffordWorkers(d, sched, progs, trials, seed, noise, 0)
+}
+
+// SimulateScheduleCliffordWorkers is SimulateScheduleClifford with an
+// explicit worker count (0 selects pool.Default(), 1 forces sequential
+// execution) and the same shard-per-RNG determinism contract as
+// SimulateScheduleWorkers.
+func SimulateScheduleCliffordWorkers(d *arch.Device, sched *router.Schedule, progs []*circuit.Circuit, trials int, seed int64, noise NoiseModel, workers int) (*Outcome, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("sim: trials must be positive, got %d", trials)
 	}
@@ -76,30 +89,46 @@ func SimulateScheduleClifford(d *arch.Device, sched *router.Schedule, progs []*c
 		correct[p] = string(bufs[p])
 	}
 
-	rng := rand.New(rand.NewSource(seed + 0x9e3779b9))
+	shards := numShards(trials)
+	perShard := make([][]int, shards)
+	ferr := pool.ForEach(context.Background(), shards, workers, func(s int) error {
+		rng := rand.New(rand.NewSource(shardSeed(seed, s)))
+		lo, hi := shardRange(s, trials)
+		succ := make([]int, len(progs))
+		for trial := lo; trial < hi; trial++ {
+			tb := newPtab(len(lay.active))
+			if err := runTrialT(tb, d, lay, noise, rng); err != nil {
+				return err
+			}
+			ok := make([]bool, len(progs))
+			for p := range ok {
+				ok[p] = true
+			}
+			for _, m := range order {
+				b := tb.measure(lay.compact[m.Phys], func() bool { return rng.Intn(2) == 1 })
+				if noise.Enabled && noise.Readout && rng.Float64() < d.ReadoutErr[m.Phys] {
+					b ^= 1
+				}
+				if b != correctBits[[2]int{m.Program, m.Logical}] {
+					ok[m.Program] = false
+				}
+			}
+			for p := range progs {
+				if ok[p] {
+					succ[p]++
+				}
+			}
+		}
+		perShard[s] = succ
+		return nil
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
 	succ := make([]int, len(progs))
-	for trial := 0; trial < trials; trial++ {
-		tb := newPtab(len(lay.active))
-		if err := runTrialT(tb, d, lay, noise, rng); err != nil {
-			return nil, err
-		}
-		ok := make([]bool, len(progs))
-		for p := range ok {
-			ok[p] = true
-		}
-		for _, m := range order {
-			b := tb.measure(lay.compact[m.Phys], func() bool { return rng.Intn(2) == 1 })
-			if noise.Enabled && noise.Readout && rng.Float64() < d.ReadoutErr[m.Phys] {
-				b ^= 1
-			}
-			if b != correctBits[[2]int{m.Program, m.Logical}] {
-				ok[m.Program] = false
-			}
-		}
-		for p := range progs {
-			if ok[p] {
-				succ[p]++
-			}
+	for s := 0; s < shards; s++ {
+		for p, v := range perShard[s] {
+			succ[p] += v
 		}
 	}
 	out := &Outcome{PST: make([]float64, len(progs)), Correct: correct, Trials: trials}
@@ -107,6 +136,42 @@ func SimulateScheduleClifford(d *arch.Device, sched *router.Schedule, progs []*c
 		out.PST[p] = float64(succ[p]) / float64(trials)
 	}
 	return out, nil
+}
+
+// CliffordOutcome computes a logical Clifford circuit's noiseless
+// reference bitstring without any device or routing: all non-measure
+// gates run on a stabilizer tableau in program order, then every
+// measured qubit is read in ascending qubit order with random outcomes
+// resolved to 0 — the same convention SimulateScheduleClifford uses for
+// its reference run. Property tests compare it against routed
+// schedules' Correct strings; that comparison assumes the circuit's
+// measurements are terminal (e.g. MeasureAll), matching the router's
+// measure-deferral semantics.
+func CliffordOutcome(c *circuit.Circuit) (string, error) {
+	tb := newTableau(c.NumQubits)
+	measured := make([]bool, c.NumQubits)
+	ident := func(q int) int { return q }
+	for _, g := range c.Gates {
+		switch {
+		case g.IsMeasure():
+			measured[g.Qubits[0]] = true
+		case g.IsBarrier():
+			// no-op
+		default:
+			if err := tb.applyCliffordGate(g, ident); err != nil {
+				return "", err
+			}
+		}
+	}
+	var buf []byte
+	for q := 0; q < c.NumQubits; q++ {
+		if !measured[q] {
+			continue
+		}
+		b := tb.measure(q, func() bool { return false })
+		buf = append(buf, byte('0'+b))
+	}
+	return string(buf), nil
 }
 
 // cliffordBackend is satisfied by both stabilizer implementations: the

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/circuit"
 	"repro/internal/graph"
+	"repro/internal/pool"
 	"repro/internal/router"
 )
 
@@ -140,7 +142,20 @@ func layerize(sched *router.Schedule) *layered {
 // program is its modal bitstring under a noiseless run of the same
 // schedule. progs must be the source programs the schedule was built
 // from (for qubit counts); seed drives all stochastic channels.
+//
+// Trials run sharded over the default worker pool; the outcome is a
+// pure function of the arguments regardless of GOMAXPROCS (see
+// SimulateScheduleWorkers).
 func SimulateSchedule(d *arch.Device, sched *router.Schedule, progs []*circuit.Circuit, trials int, seed int64, noise NoiseModel) (*Outcome, error) {
+	return SimulateScheduleWorkers(d, sched, progs, trials, seed, noise, 0)
+}
+
+// SimulateScheduleWorkers is SimulateSchedule with an explicit worker
+// count (0 selects pool.Default(), 1 forces sequential execution). The
+// trial budget is split into fixed shards, each with its own
+// counter-derived RNG, so every worker count produces bit-identical
+// PSTs.
+func SimulateScheduleWorkers(d *arch.Device, sched *router.Schedule, progs []*circuit.Circuit, trials int, seed int64, noise NoiseModel, workers int) (*Outcome, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("sim: trials must be positive, got %d", trials)
 	}
@@ -184,27 +199,48 @@ func SimulateSchedule(d *arch.Device, sched *router.Schedule, progs []*circuit.C
 		correctBits[p] = bits
 	}
 
-	rng := rand.New(rand.NewSource(seed + 0x9e3779b9))
-	succ := make([]int, len(progs))
-	for trial := 0; trial < trials; trial++ {
-		st := newState(len(lay.active))
-		if err := runTrial(st, d, lay, noise, rng); err != nil {
-			return nil, err
+	// Shard the trial budget: shard s runs trials [lo, hi) with its own
+	// counter-derived RNG, so per-shard counts do not depend on how the
+	// shards are spread over goroutines.
+	shards := numShards(trials)
+	perShard := make([][]int, shards)
+	ferr := pool.ForEach(context.Background(), shards, workers, func(s int) error {
+		rng := rand.New(rand.NewSource(shardSeed(seed, s)))
+		lo, hi := shardRange(s, trials)
+		succ := make([]int, len(progs))
+		for trial := lo; trial < hi; trial++ {
+			st := newState(len(lay.active))
+			if err := runTrial(st, d, lay, noise, rng); err != nil {
+				return err
+			}
+			for p := range progs {
+				ok := true
+				for i, m := range measOf[p] {
+					b := st.measure(lay.compact[m.Phys], rng)
+					if noise.Enabled && noise.Readout && rng.Float64() < d.ReadoutErr[m.Phys] {
+						b ^= 1
+					}
+					if b != correctBits[p][i] {
+						ok = false
+					}
+				}
+				if ok {
+					succ[p]++
+				}
+			}
 		}
-		for p := range progs {
-			ok := true
-			for i, m := range measOf[p] {
-				b := st.measure(lay.compact[m.Phys], rng)
-				if noise.Enabled && noise.Readout && rng.Float64() < d.ReadoutErr[m.Phys] {
-					b ^= 1
-				}
-				if b != correctBits[p][i] {
-					ok = false
-				}
-			}
-			if ok {
-				succ[p]++
-			}
+		perShard[s] = succ
+		return nil
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	// Reduce in shard-index order (integer sums are order-independent,
+	// but the fixed order keeps the pattern uniform across engines).
+	succ := make([]int, len(progs))
+	for s := 0; s < shards; s++ {
+		for p, v := range perShard[s] {
+			succ[p] += v
 		}
 	}
 	out := &Outcome{PST: make([]float64, len(progs)), Correct: correct, Trials: trials}

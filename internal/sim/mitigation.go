@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/circuit"
 	"repro/internal/fp"
+	"repro/internal/pool"
 	"repro/internal/router"
 )
 
@@ -71,30 +73,59 @@ func SimulateScheduleMitigated(d *arch.Device, sched *router.Schedule, progs []*
 		correctIdx[p] = idx
 	}
 
+	// Sharded like SimulateScheduleWorkers; per-shard histograms hold
+	// integer counts, so the shard-order reduction is exact and the
+	// result is worker-count-independent.
+	type shardCounts struct {
+		counts [][]int
+		succ   []int
+	}
+	shards := numShards(trials)
+	perShard := make([]shardCounts, shards)
+	ferr := pool.ForEach(context.Background(), shards, 0, func(s int) error {
+		rng := rand.New(rand.NewSource(shardSeed(seed, s)))
+		lo, hi := shardRange(s, trials)
+		sc := shardCounts{counts: make([][]int, len(progs)), succ: make([]int, len(progs))}
+		for p := range progs {
+			sc.counts[p] = make([]int, 1<<uint(len(measOf[p])))
+		}
+		for trial := lo; trial < hi; trial++ {
+			st := newState(len(lay.active))
+			if err := runTrial(st, d, lay, noise, rng); err != nil {
+				return err
+			}
+			for p := range progs {
+				idx := 0
+				for i, m := range measOf[p] {
+					b := st.measure(lay.compact[m.Phys], rng)
+					if noise.Enabled && noise.Readout && rng.Float64() < d.ReadoutErr[m.Phys] {
+						b ^= 1
+					}
+					idx |= b << uint(i)
+				}
+				sc.counts[p][idx]++
+				if idx == correctIdx[p] {
+					sc.succ[p]++
+				}
+			}
+		}
+		perShard[s] = sc
+		return nil
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
 	counts := make([][]float64, len(progs))
 	for p := range progs {
 		counts[p] = make([]float64, 1<<uint(len(measOf[p])))
 	}
-	rng := rand.New(rand.NewSource(seed + 0x9e3779b9))
 	succ := make([]int, len(progs))
-	for trial := 0; trial < trials; trial++ {
-		st := newState(len(lay.active))
-		if err := runTrial(st, d, lay, noise, rng); err != nil {
-			return nil, err
-		}
+	for s := 0; s < shards; s++ {
 		for p := range progs {
-			idx := 0
-			for i, m := range measOf[p] {
-				b := st.measure(lay.compact[m.Phys], rng)
-				if noise.Enabled && noise.Readout && rng.Float64() < d.ReadoutErr[m.Phys] {
-					b ^= 1
-				}
-				idx |= b << uint(i)
+			for i, c := range perShard[s].counts[p] {
+				counts[p][i] += float64(c)
 			}
-			counts[p][idx]++
-			if idx == correctIdx[p] {
-				succ[p]++
-			}
+			succ[p] += perShard[s].succ[p]
 		}
 	}
 
