@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json fuzz-smoke cover experiments examples clean
+.PHONY: all build vet lint test race chaos bench bench-json fuzz-smoke cover experiments examples clean
 
 all: build test
 
@@ -24,6 +24,13 @@ lint:
 test: vet lint
 	$(GO) test ./...
 	$(GO) test -race ./internal/service/... ./internal/sched/... ./internal/cloudsim/... ./cmd/qucloudd/... ./internal/sim/... ./internal/core/... ./internal/pool/...
+	$(MAKE) chaos
+
+# Fault-injection chaos suite: drives the full qucloudd HTTP service
+# through injected panics, timeouts, and error bursts under the race
+# detector (see internal/service/chaos_test.go and DESIGN.md §10).
+chaos:
+	$(GO) test -race -run 'TestChaos' ./internal/service/...
 
 # Full race-detector sweep over every package (slow).
 race:

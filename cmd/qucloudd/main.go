@@ -87,6 +87,11 @@ func runServe(args []string) error {
 		seed         = fs.Int64("seed", 1, "simulation seed base")
 		reqTimeout   = fs.Duration("request-timeout", 30*time.Second, "per-request HTTP timeout")
 		drainTimeout = fs.Duration("drain-timeout", 60*time.Second, "max time to drain the queue on SIGINT/SIGTERM")
+		batchTimeout = fs.Duration("batch-timeout", 2*time.Minute, "per-batch compile+simulate deadline (negative disables)")
+		retries      = fs.Int("retries", 2, "max retries per batch on transient failures")
+		brkThresh    = fs.Int("breaker-threshold", 5, "consecutive batch failures before a backend's breaker opens (negative disables)")
+		brkCooldown  = fs.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before a half-open probe")
+		history      = fs.Int("history", 4096, "terminal job records retained per service (negative keeps all)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,6 +111,11 @@ func runServe(args []string) error {
 	cfg.MaxColocate = *maxColocate
 	cfg.Seed = *seed
 	cfg.RequestTimeout = *reqTimeout
+	cfg.BatchTimeout = *batchTimeout
+	cfg.MaxRetries = *retries
+	cfg.BreakerThreshold = *brkThresh
+	cfg.BreakerCooldown = *brkCooldown
+	cfg.MaxJobHistory = *history
 	svc, err := service.New(devices, cfg)
 	if err != nil {
 		return err

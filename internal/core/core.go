@@ -186,6 +186,24 @@ type Result struct {
 // c.Attempts seeds and keeping the schedule with the fewest
 // post-compilation CNOTs.
 func (c *Compiler) Compile(progs []*circuit.Circuit, strat Strategy) (*Result, error) {
+	return c.CompileContext(context.Background(), progs, strat)
+}
+
+// CompileContext is Compile with a caller-supplied context, the hook a
+// serving layer uses to bound a batch: cancellation is checked between
+// compilation attempts (and between per-program units inside Separate),
+// so an expired deadline abandons the remaining attempts and fails the
+// compilation with the context's error. With an uncancelled context the
+// result is identical to Compile.
+//
+// A panic inside one attempt (partitioner or router invariant
+// violation) fails only that attempt; the best of the surviving
+// attempts still wins. The compilation as a whole errors only when
+// every attempt failed.
+func (c *Compiler) CompileContext(ctx context.Context, progs []*circuit.Circuit, strat Strategy) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(progs) == 0 {
 		return nil, errors.New("qucloud: empty workload")
 	}
@@ -206,8 +224,8 @@ func (c *Compiler) Compile(progs []*circuit.Circuit, strat Strategy) (*Result, e
 	// the sequential first-best / last-error semantics exactly.
 	results := make([]*Result, attempts)
 	errs := make([]error, attempts)
-	_ = pool.ForEach(context.Background(), attempts, c.Workers, func(i int) error {
-		results[i], errs[i] = c.compileOnce(progs, strat, int64(i)+1)
+	_ = pool.ForEach(ctx, attempts, c.Workers, func(i int) error {
+		results[i], errs[i] = c.compileAttempt(ctx, progs, strat, int64(i)+1)
 		return nil
 	})
 	var best *Result
@@ -222,15 +240,33 @@ func (c *Compiler) Compile(progs []*circuit.Circuit, strat Strategy) (*Result, e
 		}
 	}
 	if best == nil {
+		if err := ctx.Err(); err != nil {
+			// The deadline expired before any attempt finished; report
+			// the cancellation rather than a skipped attempt's nil error.
+			return nil, fmt.Errorf("qucloud: %s compilation canceled: %w", strat, err)
+		}
 		return nil, fmt.Errorf("qucloud: %s compilation failed: %w", strat, lastErr)
 	}
 	return best, nil
 }
 
-func (c *Compiler) compileOnce(progs []*circuit.Circuit, strat Strategy, seed int64) (*Result, error) {
+// compileAttempt is compileOnce behind a recover: a panic in the
+// partitioner/router pipeline becomes this attempt's error instead of
+// unwinding the caller (or, under parallel attempts, killing the
+// process from a pool goroutine).
+func (c *Compiler) compileAttempt(ctx context.Context, progs []*circuit.Circuit, strat Strategy, seed int64) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("qucloud: attempt %d panicked: %v", seed, r)
+		}
+	}()
+	return c.compileOnce(ctx, progs, strat, seed)
+}
+
+func (c *Compiler) compileOnce(ctx context.Context, progs []*circuit.Circuit, strat Strategy, seed int64) (*Result, error) {
 	switch strat {
 	case Separate:
-		return c.compileSeparate(progs, seed)
+		return c.compileSeparate(ctx, progs, seed)
 	case SABRE:
 		return c.compileMergedSABRE(progs, seed, false)
 	case XSwapOnly:
@@ -275,13 +311,13 @@ func (c *Compiler) compileOnce(progs []*circuit.Circuit, strat Strategy, seed in
 // allocation (most reliable region) plus noise-aware routing. Programs
 // are independent, so they compile in parallel into indexed slots; the
 // totals are assembled in program order afterwards.
-func (c *Compiler) compileSeparate(progs []*circuit.Circuit, seed int64) (*Result, error) {
+func (c *Compiler) compileSeparate(ctx context.Context, progs []*circuit.Circuit, seed int64) (*Result, error) {
 	type sepUnit struct {
 		sched   *router.Schedule
 		mapping []int
 	}
 	units := make([]sepUnit, len(progs))
-	if err := pool.ForEach(context.Background(), len(progs), c.Workers, func(i int) error {
+	if err := pool.ForEach(ctx, len(progs), c.Workers, func(i int) error {
 		p := progs[i]
 		res, err := partition.CDAP(c.Device, c.Tree(), []*circuit.Circuit{p})
 		if err != nil {
@@ -400,10 +436,25 @@ func (c *Compiler) routeJointMappings(progs []*circuit.Circuit, initial [][]int,
 // Separate strategy each program runs alone; for co-located strategies
 // the joint schedule runs once with all programs sharing the chip.
 func (c *Compiler) Simulate(r *Result, trials int, seed int64, noise sim.NoiseModel) ([]float64, error) {
+	return c.SimulateContext(context.Background(), r, trials, seed, noise)
+}
+
+// SimulateContext is Simulate with a caller-supplied context:
+// cancellation is checked at trial-shard boundaries (and between
+// per-program runs for Separate), so a service deadline abandons the
+// remaining Monte-Carlo budget. An uncancelled context yields results
+// bit-identical to Simulate.
+func (c *Compiler) SimulateContext(ctx context.Context, r *Result, trials int, seed int64, noise sim.NoiseModel) ([]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if r.Strategy == Separate {
 		psts := make([]float64, len(r.Programs))
 		for i, p := range r.Programs {
-			out, err := sim.SimulateScheduleWorkers(c.Device, r.Schedules[i], []*circuit.Circuit{p}, trials, seed+int64(i), noise, c.Workers)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out, err := sim.SimulateScheduleCtx(ctx, c.Device, r.Schedules[i], []*circuit.Circuit{p}, trials, seed+int64(i), noise, c.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -411,7 +462,7 @@ func (c *Compiler) Simulate(r *Result, trials int, seed int64, noise sim.NoiseMo
 		}
 		return psts, nil
 	}
-	out, err := sim.SimulateScheduleWorkers(c.Device, r.Schedules[0], r.Programs, trials, seed, noise, c.Workers)
+	out, err := sim.SimulateScheduleCtx(ctx, c.Device, r.Schedules[0], r.Programs, trials, seed, noise, c.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -435,10 +486,22 @@ func (r *Result) Validate() error {
 // supports any chip size (including the 50-qubit device) but requires
 // every program to be a Clifford circuit.
 func (c *Compiler) SimulateClifford(r *Result, trials int, seed int64, noise sim.NoiseModel) ([]float64, error) {
+	return c.SimulateCliffordContext(context.Background(), r, trials, seed, noise)
+}
+
+// SimulateCliffordContext is SimulateClifford with a caller-supplied
+// context, checked at shard boundaries like SimulateContext.
+func (c *Compiler) SimulateCliffordContext(ctx context.Context, r *Result, trials int, seed int64, noise sim.NoiseModel) ([]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if r.Strategy == Separate {
 		psts := make([]float64, len(r.Programs))
 		for i, p := range r.Programs {
-			out, err := sim.SimulateScheduleCliffordWorkers(c.Device, r.Schedules[i], []*circuit.Circuit{p}, trials, seed+int64(i), noise, c.Workers)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out, err := sim.SimulateScheduleCliffordCtx(ctx, c.Device, r.Schedules[i], []*circuit.Circuit{p}, trials, seed+int64(i), noise, c.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -446,7 +509,7 @@ func (c *Compiler) SimulateClifford(r *Result, trials int, seed int64, noise sim
 		}
 		return psts, nil
 	}
-	out, err := sim.SimulateScheduleCliffordWorkers(c.Device, r.Schedules[0], r.Programs, trials, seed, noise, c.Workers)
+	out, err := sim.SimulateScheduleCliffordCtx(ctx, c.Device, r.Schedules[0], r.Programs, trials, seed, noise, c.Workers)
 	if err != nil {
 		return nil, err
 	}

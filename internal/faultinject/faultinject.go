@@ -1,0 +1,208 @@
+// Package faultinject provides deterministic, test-only fault hooks
+// for the service path. Production code never imports it with a live
+// injector: internal/service carries an optional *Injector in its
+// Config (nil in every real deployment) and consults it at three named
+// sites — the compiler, the simulator, and the scheduler. Chaos tests
+// hand the service an injector scripted with per-site rules and drive
+// the full HTTP API through panics, timeouts, and error bursts.
+//
+// Determinism: every decision is a pure function of the injector's
+// seed and the per-site visit counter. Probabilistic rules draw from a
+// rand.Rand seeded at construction, so a fixed (seed, rule set,
+// request order) triple always injects the same faults.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Site names a hook point in the service path.
+type Site string
+
+// The three service hook sites.
+const (
+	// SiteCompile fires before each batch compilation attempt.
+	SiteCompile Site = "compile"
+	// SiteSimulate fires before each batch simulation.
+	SiteSimulate Site = "simulate"
+	// SiteSchedule fires inside batch claiming, before the EPST
+	// scheduler runs. The service holds its queue lock there, so rules
+	// at this site should not inject latency (errors and panics only).
+	SiteSchedule Site = "schedule"
+)
+
+// Plan describes what an activated rule does to the visiting call.
+type Plan struct {
+	// Msg is the injected failure message (a default is derived from
+	// the site and visit number when empty).
+	Msg string
+	// Panic makes the visit panic instead of returning an error,
+	// exercising the caller's panic-isolation path.
+	Panic bool
+	// Transient marks the returned error as retryable: it implements
+	// Transient() bool, the net.Error-style contract the service's
+	// retry policy checks. Ignored when Panic is set.
+	Transient bool
+	// Latency delays the visit before failing — or, when neither Panic
+	// nor Error is implied (ErrorFree), before succeeding. The sleep
+	// honors the caller's context: an expired deadline surfaces the
+	// context error, which is how simulator-timeout chaos is driven.
+	Latency time.Duration
+	// ErrorFree suppresses the injected error: the rule only delays
+	// (pure latency injection). Panic takes precedence.
+	ErrorFree bool
+}
+
+// Rule activates a Plan on a window of visits to one site. Visits are
+// counted from 1 per site.
+type Rule struct {
+	// From..To is the inclusive 1-based visit window; From <= 0 means
+	// "from the first visit", To <= 0 means "forever".
+	From, To int
+	// Prob activates the rule on each in-window visit with the given
+	// probability (seeded, deterministic); <= 0 or >= 1 means always.
+	Prob float64
+	Plan Plan
+}
+
+// matches reports whether the rule covers the n-th visit.
+func (r Rule) matches(n int) bool {
+	if r.From > 0 && n < r.From {
+		return false
+	}
+	if r.To > 0 && n > r.To {
+		return false
+	}
+	return true
+}
+
+// Error is an injected failure. It implements Transient() so the
+// service's retry classifier can distinguish retryable bursts from
+// permanent faults.
+type Error struct {
+	Site      Site
+	Visit     int
+	Msg       string
+	Retryable bool
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faultinject: %s visit %d: %s", e.Site, e.Visit, e.Msg)
+}
+
+// Transient reports whether the service should retry the failed call.
+func (e *Error) Transient() bool { return e.Retryable }
+
+// Injector holds the scripted rules and per-site visit counters. All
+// methods are safe for concurrent use (workers on different backends
+// visit concurrently).
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand     // guarded by mu
+	rules  map[Site][]Rule // guarded by mu
+	visits map[Site]int    // guarded by mu
+}
+
+// New returns an empty injector whose probabilistic rules draw from
+// the given seed.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:    rand.New(rand.NewSource(seed)),
+		rules:  map[Site][]Rule{},
+		visits: map[Site]int{},
+	}
+}
+
+// Add appends a rule to the site; rules are evaluated in insertion
+// order and the first match wins.
+func (in *Injector) Add(site Site, r Rule) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules[site] = append(in.rules[site], r)
+	return in
+}
+
+// FailVisits injects plain (permanent) errors on visits [from, to].
+func (in *Injector) FailVisits(site Site, from, to int) *Injector {
+	return in.Add(site, Rule{From: from, To: to, Plan: Plan{Msg: "injected failure"}})
+}
+
+// FailTransient injects retryable errors on visits [from, to].
+func (in *Injector) FailTransient(site Site, from, to int) *Injector {
+	return in.Add(site, Rule{From: from, To: to, Plan: Plan{Msg: "injected transient failure", Transient: true}})
+}
+
+// PanicVisits injects panics on visits [from, to].
+func (in *Injector) PanicVisits(site Site, from, to int) *Injector {
+	return in.Add(site, Rule{From: from, To: to, Plan: Plan{Msg: "injected panic", Panic: true}})
+}
+
+// DelayVisits injects pure latency (no error) on visits [from, to].
+func (in *Injector) DelayVisits(site Site, from, to int, d time.Duration) *Injector {
+	return in.Add(site, Rule{From: from, To: to, Plan: Plan{Latency: d, ErrorFree: true}})
+}
+
+// Visits returns how many times the site has been visited.
+func (in *Injector) Visits(site Site) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.visits[site]
+}
+
+// Visit is the hook call: it advances the site's visit counter,
+// evaluates the rules, and acts out the first matching plan — sleeping
+// its latency (bounded by ctx), then panicking or returning the
+// injected error. It returns nil when no rule fires, and ctx's error
+// when the context expires during an injected delay. A nil injector
+// or nil ctx is safe.
+func (in *Injector) Visit(ctx context.Context, site Site) error {
+	if in == nil {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	in.mu.Lock()
+	in.visits[site]++
+	n := in.visits[site]
+	var plan *Plan
+	for _, r := range in.rules[site] {
+		if !r.matches(n) {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && in.rng.Float64() >= r.Prob {
+			continue
+		}
+		p := r.Plan
+		plan = &p
+		break
+	}
+	in.mu.Unlock()
+	if plan == nil {
+		return nil
+	}
+	if plan.Latency > 0 {
+		t := time.NewTimer(plan.Latency)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	msg := plan.Msg
+	if msg == "" {
+		msg = "injected fault"
+	}
+	if plan.Panic {
+		panic(fmt.Sprintf("faultinject: %s visit %d: %s", site, n, msg))
+	}
+	if plan.ErrorFree {
+		return nil
+	}
+	return &Error{Site: site, Visit: n, Msg: msg, Retryable: plan.Transient}
+}

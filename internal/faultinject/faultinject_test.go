@@ -1,0 +1,124 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsSafe(t *testing.T) {
+	var in *Injector
+	if err := in.Visit(context.Background(), SiteCompile); err != nil {
+		t.Fatalf("nil injector injected %v", err)
+	}
+}
+
+func TestVisitWindows(t *testing.T) {
+	in := New(1).FailVisits(SiteCompile, 2, 3)
+	var got []bool
+	for i := 0; i < 5; i++ {
+		got = append(got, in.Visit(nil, SiteCompile) != nil)
+	}
+	want := []bool{false, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("visit %d: injected=%v, want %v (%v)", i+1, got[i], want[i], got)
+		}
+	}
+	if in.Visits(SiteCompile) != 5 {
+		t.Fatalf("visit count = %d, want 5", in.Visits(SiteCompile))
+	}
+	// Other sites are independent.
+	if in.Visits(SiteSimulate) != 0 || in.Visit(nil, SiteSimulate) != nil {
+		t.Fatal("rules leaked across sites")
+	}
+}
+
+func TestOpenEndedWindowAndFirstMatchWins(t *testing.T) {
+	in := New(1).
+		Add(SiteSimulate, Rule{From: 1, To: 1, Plan: Plan{Msg: "first", Transient: true}}).
+		Add(SiteSimulate, Rule{Plan: Plan{Msg: "rest"}})
+	err := in.Visit(nil, SiteSimulate)
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Msg != "first" || !fe.Transient() {
+		t.Fatalf("visit 1: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		err = in.Visit(nil, SiteSimulate)
+		if !errors.As(err, &fe) || fe.Msg != "rest" || fe.Transient() {
+			t.Fatalf("open-ended rule missed visit %d: %v", i+2, err)
+		}
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	in := New(1).FailTransient(SiteCompile, 1, 1).FailVisits(SiteCompile, 2, 2)
+	var tr interface{ Transient() bool }
+	if err := in.Visit(nil, SiteCompile); !errors.As(err, &tr) || !tr.Transient() {
+		t.Fatalf("visit 1 not transient: %v", err)
+	}
+	if err := in.Visit(nil, SiteCompile); !errors.As(err, &tr) || tr.Transient() {
+		t.Fatalf("visit 2 unexpectedly transient: %v", err)
+	}
+}
+
+func TestPanicPlan(t *testing.T) {
+	in := New(1).PanicVisits(SiteSchedule, 1, 1)
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("expected injected panic")
+			}
+		}()
+		_ = in.Visit(nil, SiteSchedule)
+	}()
+	if err := in.Visit(nil, SiteSchedule); err != nil {
+		t.Fatalf("visit 2 should pass: %v", err)
+	}
+}
+
+func TestLatencyHonorsContext(t *testing.T) {
+	in := New(1).DelayVisits(SiteSimulate, 1, 0, time.Minute)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := in.Visit(ctx, SiteSimulate)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected DeadlineExceeded, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("latency injection ignored the context deadline")
+	}
+}
+
+func TestDelayWithoutErrorSucceeds(t *testing.T) {
+	in := New(1).DelayVisits(SiteCompile, 1, 1, time.Millisecond)
+	if err := in.Visit(context.Background(), SiteCompile); err != nil {
+		t.Fatalf("pure latency rule returned %v", err)
+	}
+}
+
+func TestProbabilisticRuleIsSeedDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		in := New(seed).Add(SiteCompile, Rule{Prob: 0.5, Plan: Plan{Msg: "coin"}})
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = in.Visit(nil, SiteCompile) != nil
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at visit %d", i+1)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("p=0.5 rule fired %d/%d times", hits, len(a))
+	}
+}

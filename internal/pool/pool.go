@@ -11,6 +11,7 @@ package pool
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -50,6 +51,10 @@ func Default() int {
 // returns an error, or ctx is cancelled, remaining indices are skipped.
 // A nil ctx is treated as context.Background().
 //
+// A panic inside fn is recovered and reported as that index's error: a
+// fault in one unit must fail the sweep, not kill the process from a
+// pool goroutine the caller cannot recover on.
+//
 // Callers whose per-index failures must not abort the sweep (e.g.
 // best-of-N compilation attempts) should record errors into an indexed
 // slice inside fn and return nil.
@@ -71,7 +76,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := call(fn, i); err != nil {
 				return err
 			}
 		}
@@ -95,7 +100,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 				if i >= n || inner.Err() != nil {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := call(fn, i); err != nil {
 					errs[i] = err
 					cancel()
 					return
@@ -110,4 +115,14 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 		}
 	}
 	return ctx.Err()
+}
+
+// call runs fn(i), converting a panic into an error.
+func call(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pool: panic in unit %d: %v", i, r)
+		}
+	}()
+	return fn(i)
 }

@@ -3,6 +3,7 @@ package pool
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -144,4 +145,41 @@ func TestSetDefault(t *testing.T) {
 		t.Fatalf("Default() = %d after reset; want >= 1", got)
 	}
 	_ = orig
+}
+
+func TestForEachRecoversPanic(t *testing.T) {
+	// A panic in one unit must surface as that unit's error — on both
+	// the sequential (workers=1) and parallel paths — instead of
+	// killing the goroutine and deadlocking or crashing the process.
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), 8, workers, func(i int) error {
+			if i == 3 {
+				panic("unit exploded")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic should surface as an error", workers)
+		}
+		if !strings.Contains(err.Error(), "panic in unit 3") || !strings.Contains(err.Error(), "unit exploded") {
+			t.Fatalf("workers=%d: unexpected panic error: %v", workers, err)
+		}
+	}
+}
+
+func TestForEachPanicKeepsLowestIndexPriority(t *testing.T) {
+	// An earlier unit's plain error still wins over a later panic.
+	sentinel := errors.New("boom")
+	err := ForEach(context.Background(), 8, 1, func(i int) error {
+		if i == 2 {
+			return sentinel
+		}
+		if i == 5 {
+			panic("later panic")
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want sentinel error from unit 2, got %v", err)
+	}
 }

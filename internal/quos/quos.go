@@ -9,6 +9,7 @@
 package quos
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -119,7 +120,14 @@ type Result struct {
 // compilation, averaged over the programs. Long-running services use
 // it as the reference the Controller compares achieved fidelity to.
 func SeparateEstimate(comp *core.Compiler, progs []*circuit.Circuit, noise sim.NoiseModel) (float64, error) {
-	sepRes, err := comp.Compile(progs, core.Separate)
+	return SeparateEstimateContext(context.Background(), comp, progs, noise)
+}
+
+// SeparateEstimateContext is SeparateEstimate under a caller context,
+// so a service's per-batch deadline also bounds the reference
+// compilation the adaptive controller compares against.
+func SeparateEstimateContext(ctx context.Context, comp *core.Compiler, progs []*circuit.Circuit, noise sim.NoiseModel) (float64, error) {
+	sepRes, err := comp.CompileContext(ctx, progs, core.Separate)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,248 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/faultinject"
+)
+
+// newChaosService builds a single-backend service so fault-injection
+// visit counters advance in a deterministic order (two workers racing
+// for the same site counter would make "fail visit N" ambiguous).
+func newChaosService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	svc, err := New([]*arch.Device{arch.London()}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// chaosConfig keeps retries/breaker/backoff fast enough for tests.
+func chaosConfig() Config {
+	cfg := testConfig()
+	cfg.RetryBaseDelay = time.Millisecond
+	cfg.RetryMaxDelay = 5 * time.Millisecond
+	cfg.BreakerCooldown = 50 * time.Millisecond
+	return cfg
+}
+
+// submitOK submits and fails the test on anything but 202.
+func submitOK(t *testing.T, url string) JobRecord {
+	t.Helper()
+	resp, body := submit(t, url, "bv", benchQASM(t, "bv_n3"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var rec JobRecord
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// shutdownClean drains the service and asserts the workers exit (the
+// goroutine-leak check: Shutdown blocks on the worker WaitGroup, so a
+// wedged worker turns into a test timeout here).
+func shutdownClean(t *testing.T, svc *Service) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("drained shutdown failed: %v", err)
+	}
+}
+
+// TestChaosCompilerPanicIsolation injects a panic into the first batch
+// compilation: only that batch's job may fail (with the recovered
+// message), and the worker must keep serving the next job.
+func TestChaosCompilerPanicIsolation(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.Faults = faultinject.New(1).PanicVisits(faultinject.SiteCompile, 1, 1)
+	svc := newChaosService(t, cfg)
+	svc.Start()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	victim := waitTerminal(t, ts.URL, submitOK(t, ts.URL).ID, 60*time.Second)
+	if victim.State != StateFailed {
+		t.Fatalf("expected panicked batch to fail, got %+v", victim)
+	}
+	if !strings.Contains(victim.Error, "compiler panic") || !strings.Contains(victim.Error, "injected panic") {
+		t.Fatalf("failed job should carry the recovered panic message, got %q", victim.Error)
+	}
+
+	survivor := waitTerminal(t, ts.URL, submitOK(t, ts.URL).ID, 60*time.Second)
+	if survivor.State != StateDone {
+		t.Fatalf("worker did not survive the panic: %+v", survivor)
+	}
+	if got := svc.Metrics().PanicsRecovered.Value(); got < 1 {
+		t.Fatalf("PanicsRecovered = %d, want >= 1", got)
+	}
+	shutdownClean(t, svc)
+}
+
+// TestChaosSimulatorTimeout injects latency beyond the batch deadline
+// into the simulator: the batch must fail with a deadline error (and
+// count as a timeout) while the next job runs normally.
+func TestChaosSimulatorTimeout(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.BatchTimeout = 100 * time.Millisecond
+	cfg.Faults = faultinject.New(1).DelayVisits(faultinject.SiteSimulate, 1, 1, 10*time.Second)
+	svc := newChaosService(t, cfg)
+	svc.Start()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	victim := waitTerminal(t, ts.URL, submitOK(t, ts.URL).ID, 60*time.Second)
+	if victim.State != StateFailed {
+		t.Fatalf("expected timed-out batch to fail, got %+v", victim)
+	}
+	if !strings.Contains(victim.Error, "deadline") {
+		t.Fatalf("failed job should mention the deadline, got %q", victim.Error)
+	}
+	if got := svc.Metrics().BatchTimeouts.Value(); got != 1 {
+		t.Fatalf("BatchTimeouts = %d, want 1", got)
+	}
+
+	survivor := waitTerminal(t, ts.URL, submitOK(t, ts.URL).ID, 60*time.Second)
+	if survivor.State != StateDone {
+		t.Fatalf("worker did not survive the timeout: %+v", survivor)
+	}
+	shutdownClean(t, svc)
+}
+
+// TestChaosErrorBurstTripsBreaker drives three consecutive permanent
+// compile failures through a threshold-3 breaker: it must open (423
+// visible in /v1/backends and the metrics gauge), then close again
+// after the cooldown once a healthy probe batch succeeds.
+func TestChaosErrorBurstTripsBreaker(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.BreakerThreshold = 3
+	cfg.MaxRetries = -1 // disable retries: each failure counts once
+	cfg.Faults = faultinject.New(1).FailVisits(faultinject.SiteCompile, 1, 3)
+	svc := newChaosService(t, cfg)
+	svc.Start()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		rec := waitTerminal(t, ts.URL, submitOK(t, ts.URL).ID, 60*time.Second)
+		if rec.State != StateFailed || rec.Error == "" {
+			t.Fatalf("burst job %d should fail with an error, got %+v", i, rec)
+		}
+	}
+	var backends []BackendStatus
+	if code := getJSON(t, ts.URL+"/v1/backends", &backends); code != http.StatusOK {
+		t.Fatalf("backends: HTTP %d", code)
+	}
+	if backends[0].Breaker.State != breakerOpen {
+		t.Fatalf("breaker should be open after 3 failures, got %+v", backends[0].Breaker)
+	}
+	if got := svc.Metrics().BreakerTrips.Value(); got != 1 {
+		t.Fatalf("BreakerTrips = %d, want 1", got)
+	}
+	if got := svc.Metrics().OpenBreakers.Value(); got != 1 {
+		t.Fatalf("OpenBreakers = %d, want 1", got)
+	}
+
+	// The backend is healthy again (the burst window has passed): after
+	// the cooldown the half-open probe batch must close the breaker.
+	probe := waitTerminal(t, ts.URL, submitOK(t, ts.URL).ID, 60*time.Second)
+	if probe.State != StateDone {
+		t.Fatalf("probe batch should succeed, got %+v", probe)
+	}
+	if code := getJSON(t, ts.URL+"/v1/backends", &backends); code != http.StatusOK {
+		t.Fatalf("backends: HTTP %d", code)
+	}
+	if backends[0].Breaker.State != breakerClosed || backends[0].Breaker.Opens != 1 {
+		t.Fatalf("breaker should have closed after the probe, got %+v", backends[0].Breaker)
+	}
+	if got := svc.Metrics().OpenBreakers.Value(); got != 0 {
+		t.Fatalf("OpenBreakers = %d after recovery, want 0", got)
+	}
+	shutdownClean(t, svc)
+}
+
+// TestChaosTransientRetrySucceeds injects two transient compile
+// failures: the batch must succeed on the third attempt with exactly
+// two recorded retries and no failed jobs.
+func TestChaosTransientRetrySucceeds(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.MaxRetries = 2
+	cfg.Faults = faultinject.New(1).FailTransient(faultinject.SiteCompile, 1, 2)
+	svc := newChaosService(t, cfg)
+	svc.Start()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	rec := waitTerminal(t, ts.URL, submitOK(t, ts.URL).ID, 60*time.Second)
+	if rec.State != StateDone {
+		t.Fatalf("job should succeed after transient retries, got %+v", rec)
+	}
+	if got := svc.Metrics().BatchRetries.Value(); got != 2 {
+		t.Fatalf("BatchRetries = %d, want 2", got)
+	}
+	if got := svc.Metrics().JobsFailed.Value(); got != 0 {
+		t.Fatalf("JobsFailed = %d, want 0", got)
+	}
+	shutdownClean(t, svc)
+}
+
+// TestChaosSchedulerPanicFailsHead injects a panic into batch claiming:
+// the head job is failed (so the queue cannot livelock on it) and the
+// worker loop keeps serving.
+func TestChaosSchedulerPanicFailsHead(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.Faults = faultinject.New(1).PanicVisits(faultinject.SiteSchedule, 1, 1)
+	svc := newChaosService(t, cfg)
+	svc.Start()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	victim := waitTerminal(t, ts.URL, submitOK(t, ts.URL).ID, 60*time.Second)
+	if victim.State != StateFailed || !strings.Contains(victim.Error, "claim panic") {
+		t.Fatalf("head job should fail with the claim panic, got %+v", victim)
+	}
+	survivor := waitTerminal(t, ts.URL, submitOK(t, ts.URL).ID, 60*time.Second)
+	if survivor.State != StateDone {
+		t.Fatalf("worker did not survive the claim panic: %+v", survivor)
+	}
+	shutdownClean(t, svc)
+}
+
+// TestChaosSchedulerErrorFallback injects a scheduler error: the batch
+// degrades to head-of-line (the job still executes) and the error is
+// surfaced in the metrics and the backend status instead of being
+// swallowed.
+func TestChaosSchedulerErrorFallback(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.Faults = faultinject.New(1).FailVisits(faultinject.SiteSchedule, 1, 1)
+	svc := newChaosService(t, cfg)
+	svc.Start()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	rec := waitTerminal(t, ts.URL, submitOK(t, ts.URL).ID, 60*time.Second)
+	if rec.State != StateDone {
+		t.Fatalf("head-of-line fallback should still run the job, got %+v", rec)
+	}
+	if got := svc.Metrics().SchedulerErrors.Value(); got != 1 {
+		t.Fatalf("SchedulerErrors = %d, want 1", got)
+	}
+	var backends []BackendStatus
+	if code := getJSON(t, ts.URL+"/v1/backends", &backends); code != http.StatusOK {
+		t.Fatalf("backends: HTTP %d", code)
+	}
+	if backends[0].SchedulerErrors != 1 || !strings.Contains(backends[0].LastSchedError, "injected failure") {
+		t.Fatalf("scheduler error not surfaced in backend status: %+v", backends[0])
+	}
+	shutdownClean(t, svc)
+}

@@ -131,6 +131,9 @@ type Registry struct {
 	JobsRejected  Counter
 	JobsCompleted Counter
 	JobsFailed    Counter
+	// JobsEvicted counts terminal job records dropped by the
+	// MaxJobHistory retention cap.
+	JobsEvicted Counter
 
 	BatchesExecuted Counter
 	// ColocatedBatches counts batches with >1 program; ColocatedJobs
@@ -141,6 +144,20 @@ type Registry struct {
 
 	QueueDepth Gauge
 	InFlight   Gauge
+
+	// Robustness counters: recovered worker panics, batch retries
+	// after transient failures, batches failed by the per-batch
+	// deadline, scheduler errors absorbed by head-of-line fallback,
+	// co-location fallbacks (tail requeued, head run alone), and
+	// circuit-breaker trips. OpenBreakers gauges how many backends are
+	// currently tripped (open or half-open).
+	PanicsRecovered Counter
+	BatchRetries    Counter
+	BatchTimeouts   Counter
+	SchedulerErrors Counter
+	FallbackBatches Counter
+	BreakerTrips    Counter
+	OpenBreakers    Gauge
 
 	BatchSize      *Histogram
 	QueueLatency   *Histogram // seconds from submit to batch claim
@@ -186,6 +203,16 @@ type MetricsSnapshot struct {
 		Depth    int64 `json:"depth"`
 		InFlight int64 `json:"in_flight"`
 	} `json:"queue"`
+	Robustness struct {
+		JobsEvicted     int64 `json:"jobs_evicted"`
+		PanicsRecovered int64 `json:"panics_recovered"`
+		BatchRetries    int64 `json:"batch_retries"`
+		BatchTimeouts   int64 `json:"batch_timeouts"`
+		SchedulerErrors int64 `json:"scheduler_errors"`
+		FallbackBatches int64 `json:"fallback_batches"`
+		BreakerTrips    int64 `json:"breaker_trips"`
+		OpenBreakers    int64 `json:"open_breakers"`
+	} `json:"robustness"`
 	LatencySeconds struct {
 		Queue   HistogramSnapshot `json:"queue"`
 		Compile HistogramSnapshot `json:"compile"`
@@ -218,6 +245,14 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 	}
 	s.Queue.Depth = r.QueueDepth.Value()
 	s.Queue.InFlight = r.InFlight.Value()
+	s.Robustness.JobsEvicted = r.JobsEvicted.Value()
+	s.Robustness.PanicsRecovered = r.PanicsRecovered.Value()
+	s.Robustness.BatchRetries = r.BatchRetries.Value()
+	s.Robustness.BatchTimeouts = r.BatchTimeouts.Value()
+	s.Robustness.SchedulerErrors = r.SchedulerErrors.Value()
+	s.Robustness.FallbackBatches = r.FallbackBatches.Value()
+	s.Robustness.BreakerTrips = r.BreakerTrips.Value()
+	s.Robustness.OpenBreakers = r.OpenBreakers.Value()
 	s.LatencySeconds.Queue = r.QueueLatency.Snapshot()
 	s.LatencySeconds.Compile = r.CompileLatency.Snapshot()
 	s.LatencySeconds.Execute = r.ExecLatency.Snapshot()

@@ -27,6 +27,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/cloudsim"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/sim"
 )
 
@@ -86,6 +87,43 @@ type Config struct {
 	RequestTimeout time.Duration
 	// TraceDepth is how many recent batch records each backend keeps.
 	TraceDepth int
+
+	// BatchTimeout is the per-batch execution deadline: one
+	// compile+simulate attempt may spend at most this long, checked at
+	// compiler-attempt and simulation-shard boundaries, so a runaway
+	// X-SWAP search fails the batch instead of wedging the backend.
+	// 0 selects the default; negative disables the deadline.
+	BatchTimeout time.Duration
+	// MaxRetries is how many times a batch is re-attempted after a
+	// transient failure (an error advertising Transient() bool, as the
+	// fault-injection harness produces). Permanent failures — compile
+	// errors, panics, deadlines — are never retried: the pipeline is
+	// deterministic, so they would fail identically. 0 selects the
+	// default; negative disables retries.
+	MaxRetries int
+	// RetryBaseDelay and RetryMaxDelay shape the deterministic capped
+	// backoff between retries: base<<attempt, capped at max.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// BreakerThreshold opens a backend's circuit breaker after this
+	// many consecutive batch failures; the backend then drains (claims
+	// nothing) for BreakerCooldown before a single half-open probe
+	// batch decides between closing and re-opening. 0 selects the
+	// default; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker drains before the
+	// half-open probe. 0 selects the default; negative probes
+	// immediately.
+	BreakerCooldown time.Duration
+	// MaxJobHistory caps how many terminal job records the in-memory
+	// store retains; beyond it the oldest terminal records are evicted
+	// (GET on an evicted id returns 404) so a long-running daemon does
+	// not leak. 0 selects the default (~4096); negative disables
+	// eviction.
+	MaxJobHistory int
+	// Faults is the test-only fault-injection hook set; nil (the
+	// production value) injects nothing.
+	Faults *faultinject.Injector
 }
 
 // DefaultConfig returns production-ish defaults around the paper's
@@ -103,6 +141,14 @@ func DefaultConfig() Config {
 		Noise:          sim.DefaultNoise(),
 		RequestTimeout: 30 * time.Second,
 		TraceDepth:     64,
+
+		BatchTimeout:     2 * time.Minute,
+		MaxRetries:       2,
+		RetryBaseDelay:   50 * time.Millisecond,
+		RetryMaxDelay:    2 * time.Second,
+		BreakerThreshold: 5,
+		BreakerCooldown:  5 * time.Second,
+		MaxJobHistory:    4096,
 	}
 }
 
@@ -145,6 +191,16 @@ type job struct {
 	claimed time.Time
 }
 
+// BreakerStatus surfaces a worker's circuit-breaker state: "closed"
+// (normal), "open" (draining after BreakerThreshold consecutive batch
+// failures), or "half-open" (one probe batch in flight after the
+// cooldown).
+type BreakerStatus struct {
+	State               string `json:"state"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Opens               int64  `json:"opens"`
+}
+
 // BackendStatus describes one worker for GET /v1/backends.
 type BackendStatus struct {
 	Name            string                 `json:"name"`
@@ -154,6 +210,9 @@ type BackendStatus struct {
 	Busy            bool                   `json:"busy"`
 	JobsCompleted   int64                  `json:"jobs_completed"`
 	BatchesExecuted int64                  `json:"batches_executed"`
+	Breaker         BreakerStatus          `json:"breaker"`
+	SchedulerErrors int64                  `json:"scheduler_errors,omitempty"`
+	LastSchedError  string                 `json:"last_scheduler_error,omitempty"`
 	RecentBatches   []cloudsim.BatchRecord `json:"recent_batches,omitempty"`
 }
 
@@ -166,16 +225,22 @@ type Service struct {
 	workers   []*worker
 	maxQubits int
 
-	mu        sync.Mutex
-	cond      *sync.Cond      // signals queue/lifecycle changes; Wait called with mu held
-	queue     []*job          // guarded by mu
-	jobs      map[string]*job // guarded by mu
-	seq       int             // guarded by mu
-	accepting bool            // guarded by mu
-	draining  bool            // guarded by mu
-	forced    bool            // guarded by mu
-	started   bool            // guarded by mu
-	wg        sync.WaitGroup
+	// stopCh closes when Shutdown begins, waking workers out of
+	// breaker-cooldown and retry-backoff sleeps.
+	stopCh   chan struct{}
+	stopOnce sync.Once
+
+	mu          sync.Mutex
+	cond        *sync.Cond      // signals queue/lifecycle changes; Wait called with mu held
+	queue       []*job          // guarded by mu
+	jobs        map[string]*job // guarded by mu
+	terminalIDs []string        // guarded by mu; terminal job ids, oldest first (eviction order)
+	seq         int             // guarded by mu
+	accepting   bool            // guarded by mu
+	draining    bool            // guarded by mu
+	forced      bool            // guarded by mu
+	started     bool            // guarded by mu
+	wg          sync.WaitGroup
 }
 
 // New builds a service over the devices (one worker each). Zero-valued
@@ -213,12 +278,46 @@ func New(devices []*arch.Device, cfg Config) (*Service, error) {
 	if cfg.TraceDepth <= 0 {
 		cfg.TraceDepth = def.TraceDepth
 	}
+	// Robustness knobs: 0 means "default", negative means "disabled"
+	// (normalized to the zero of the mechanism).
+	if cfg.BatchTimeout == 0 {
+		cfg.BatchTimeout = def.BatchTimeout
+	} else if cfg.BatchTimeout < 0 {
+		cfg.BatchTimeout = 0
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = def.MaxRetries
+	} else if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = def.RetryBaseDelay
+	}
+	if cfg.RetryMaxDelay <= 0 {
+		cfg.RetryMaxDelay = def.RetryMaxDelay
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = def.BreakerThreshold
+	} else if cfg.BreakerThreshold < 0 {
+		cfg.BreakerThreshold = 0
+	}
+	if cfg.BreakerCooldown == 0 {
+		cfg.BreakerCooldown = def.BreakerCooldown
+	} else if cfg.BreakerCooldown < 0 {
+		cfg.BreakerCooldown = 0
+	}
+	if cfg.MaxJobHistory == 0 {
+		cfg.MaxJobHistory = def.MaxJobHistory
+	} else if cfg.MaxJobHistory < 0 {
+		cfg.MaxJobHistory = 0
+	}
 	seen := map[string]bool{}
 	s := &Service{
 		cfg:       cfg,
 		start:     time.Now(),
 		metrics:   NewRegistry(),
 		jobs:      map[string]*job{},
+		stopCh:    make(chan struct{}),
 		accepting: true,
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -341,6 +440,7 @@ func (s *Service) Backends() []BackendStatus {
 // workers stop after their current batch, leftover queued jobs are
 // marked failed, and ctx's error is returned.
 func (s *Service) Shutdown(ctx context.Context) error {
+	s.stopOnce.Do(func() { close(s.stopCh) })
 	s.mu.Lock()
 	s.accepting = false
 	s.draining = true
@@ -380,11 +480,29 @@ func (s *Service) failRemaining(msg string) {
 	for _, j := range s.queue {
 		j.rec.State = StateFailed
 		j.rec.Error = msg
+		s.markTerminalLocked(j)
 		s.metrics.JobsFailed.Inc()
 		s.metrics.TotalLatency.Observe(time.Since(j.rec.SubmittedAt).Seconds())
 	}
 	s.queue = nil
 	s.metrics.QueueDepth.Set(0)
+}
+
+// markTerminalLocked records that the job reached a terminal state and
+// evicts the oldest terminal records beyond Config.MaxJobHistory, so
+// the in-memory store cannot grow without bound under a long-running
+// daemon. Callers hold s.mu and have already set a terminal state.
+func (s *Service) markTerminalLocked(j *job) {
+	s.terminalIDs = append(s.terminalIDs, j.rec.ID)
+	if s.cfg.MaxJobHistory <= 0 {
+		return
+	}
+	for len(s.terminalIDs) > s.cfg.MaxJobHistory {
+		id := s.terminalIDs[0]
+		s.terminalIDs = s.terminalIDs[1:]
+		delete(s.jobs, id)
+		s.metrics.JobsEvicted.Inc()
+	}
 }
 
 // snapshotRecord copies a job's record (cloning the CoJobs slice so

@@ -1,23 +1,52 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/arch"
 	"repro/internal/circuit"
 	"repro/internal/cloudsim"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/quos"
 	"repro/internal/sched"
 )
 
+// Circuit-breaker states. A worker's breaker is "closed" in normal
+// operation; BreakerThreshold consecutive batch failures open it, the
+// backend drains for BreakerCooldown, then a single half-open probe
+// batch decides between closing (healthy again) and re-opening.
+const (
+	breakerClosed   = "closed"
+	breakerOpen     = "open"
+	breakerHalfOpen = "half-open"
+)
+
+// breaker is one worker's circuit-breaker bookkeeping.
+type breaker struct {
+	state    string    // breakerClosed / breakerOpen / breakerHalfOpen
+	fails    int       // consecutive batch failures
+	opens    int64     // cumulative trips
+	openedAt time.Time // when it last opened
+}
+
 // worker owns one backend device: it claims EPST batches from the
 // shared queue, compiles and simulates them, and writes results back.
-// Mutable fields (eps, busy, counters, trace) are guarded by
+// Mutable fields (eps, busy, counters, trace, breaker) are guarded by
 // Service.mu; comp, ctrl, and the seed counter are touched only by the
 // worker's own goroutine, so each worker is deterministic and
 // race-free without sharing any random state.
+//
+// The worker loop is panic-isolated: a panic while claiming fails only
+// the head job, a panic while executing fails only the claimed batch,
+// and in both cases the loop keeps serving. Batch execution runs under
+// the Config.BatchTimeout deadline, transient failures retry with
+// capped deterministic backoff, and repeated failures trip the
+// breaker so a miscalibrated backend drains instead of crash-looping.
 type worker struct {
 	svc   *Service
 	index int
@@ -26,11 +55,14 @@ type worker struct {
 	ctrl  *quos.Controller // nil under PolicyStatic
 	seed  int64            // per-worker deterministic seed counter
 
-	eps         float64                // guarded by svc.mu
-	busy        bool                   // guarded by svc.mu
-	jobsDone    int64                  // guarded by svc.mu
-	batchesDone int64                  // guarded by svc.mu
-	trace       []cloudsim.BatchRecord // guarded by svc.mu
+	eps          float64                // guarded by svc.mu
+	busy         bool                   // guarded by svc.mu
+	jobsDone     int64                  // guarded by svc.mu
+	batchesDone  int64                  // guarded by svc.mu
+	trace        []cloudsim.BatchRecord // guarded by svc.mu
+	schedErrs    int64                  // guarded by svc.mu
+	lastSchedErr string                 // guarded by svc.mu
+	brk          breaker                // guarded by svc.mu
 }
 
 // newWorker wires a worker for the device.
@@ -45,6 +77,7 @@ func newWorker(s *Service, index int, dev *arch.Device) *worker {
 		comp:  comp,
 		seed:  s.cfg.Seed + int64(index)*1_000_003,
 		eps:   s.cfg.Epsilon,
+		brk:   breaker{state: breakerClosed},
 	}
 	if s.cfg.Policy == PolicyAdaptive {
 		qcfg := quos.DefaultConfig()
@@ -63,17 +96,69 @@ func (w *worker) nextSeed() int64 {
 	return w.seed
 }
 
-// run is the worker loop: claim a batch, execute it, repeat until the
-// service drains (or is forced to stop).
+// run is the worker loop: wait out the breaker, claim a batch, execute
+// it, repeat until the service drains (or is forced to stop). Panics
+// in either phase are recovered so one pathological batch can never
+// silence the backend.
 func (w *worker) run() {
 	defer w.svc.wg.Done()
 	for {
-		batch := w.claim()
-		if batch == nil {
+		if !w.breakerWait() {
 			return
 		}
-		w.execute(batch)
+		batch, exit := w.claimIsolated()
+		if exit {
+			return
+		}
+		if batch == nil {
+			continue // claim panic recovered; head job failed
+		}
+		w.executeIsolated(batch)
 	}
+}
+
+// breakerWait blocks while this worker's breaker is open, until the
+// cooldown elapses (transitioning to half-open for one probe batch) or
+// the service shuts down. It returns false when the worker should
+// exit (forced stop). Draining bypasses the cooldown: the backend
+// probes immediately so shutdown is never delayed by an open breaker.
+func (w *worker) breakerWait() bool {
+	s := w.svc
+	for {
+		s.mu.Lock()
+		if s.forced {
+			s.mu.Unlock()
+			return false
+		}
+		if w.brk.state != breakerOpen {
+			s.mu.Unlock()
+			return true
+		}
+		wait := s.cfg.BreakerCooldown - time.Since(w.brk.openedAt)
+		if wait <= 0 || s.draining {
+			w.brk.state = breakerHalfOpen
+			s.mu.Unlock()
+			return true
+		}
+		s.mu.Unlock()
+		sleepInterruptible(s.stopCh, wait)
+	}
+}
+
+// claimIsolated runs claim behind a recover: a panic while selecting a
+// batch (scheduler invariant violation, injected chaos) fails the
+// oldest fitting job — so the queue cannot livelock on a poison job —
+// and the loop continues. exit is true when the worker should stop.
+func (w *worker) claimIsolated() (batch []*job, exit bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.svc.metrics.PanicsRecovered.Inc()
+			w.failHead(fmt.Sprintf("claim panic: %v", r))
+			batch, exit = nil, false
+		}
+	}()
+	batch = w.claim()
+	return batch, batch == nil
 }
 
 // claim blocks until jobs that fit this device are queued, then
@@ -122,11 +207,27 @@ func (w *worker) claim() []*job {
 		Omega:       omegaFor(w.dev),
 	}
 	selected := map[int]bool{}
-	if batches, err := sched.Schedule(w.dev, sjobs, scfg); err == nil && len(batches) > 0 {
+	// The schedule fault hook fires here in claim (not inside
+	// scheduleSafe's recover) so an injected panic unwinds into
+	// claimIsolated and exercises the failHead path.
+	var batches []sched.Batch
+	err := s.cfg.Faults.Visit(context.Background(), faultinject.SiteSchedule)
+	if err == nil {
+		batches, err = w.scheduleSafe(sjobs, scfg)
+	}
+	if err == nil && len(batches) > 0 {
 		for _, id := range batches[0].JobIDs {
 			selected[id] = true
 		}
 	} else {
+		// Head-of-line fallback: the oldest fitting job runs alone. A
+		// scheduler error must not be silent — record it for
+		// BackendStatus and the metrics snapshot.
+		if err != nil {
+			w.schedErrs++
+			w.lastSchedErr = err.Error()
+			s.metrics.SchedulerErrors.Inc()
+		}
 		selected[cands[0].rec.Seq] = true
 	}
 
@@ -160,6 +261,43 @@ func (w *worker) claim() []*job {
 	return batch
 }
 
+// scheduleSafe runs the EPST scheduler with panic containment: a
+// scheduler panic becomes an error handled by the head-of-line
+// fallback instead of unwinding claim. Called with Service.mu held
+// (the schedule pass is part of the linearized claim).
+func (w *worker) scheduleSafe(sjobs []sched.Job, scfg sched.Config) (batches []sched.Batch, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.svc.metrics.PanicsRecovered.Inc()
+			batches, err = nil, fmt.Errorf("scheduler panic: %v", r)
+		}
+	}()
+	return sched.Schedule(w.dev, sjobs, scfg)
+}
+
+// failHead marks the oldest queued job that fits this backend failed
+// (the claim-panic recovery path: without removing a job the loop
+// would re-panic on the same queue head forever).
+func (w *worker) failHead(msg string) {
+	s := w.svc
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, j := range s.queue {
+		if j.rec.Qubits > w.dev.NumQubits() {
+			continue
+		}
+		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		j.rec.State = StateFailed
+		j.rec.Error = msg
+		j.rec.Backend = w.dev.Name
+		s.markTerminalLocked(j)
+		s.metrics.JobsFailed.Inc()
+		s.metrics.TotalLatency.Observe(time.Since(j.rec.SubmittedAt).Seconds())
+		s.metrics.QueueDepth.Set(int64(len(s.queue)))
+		return
+	}
+}
+
 // requeueFront returns unexecuted jobs to the head of the queue (used
 // when a co-located compilation falls back to running the head alone).
 func (w *worker) requeueFront(tail []*job) {
@@ -177,52 +315,118 @@ func (w *worker) requeueFront(tail []*job) {
 	s.cond.Broadcast()
 }
 
-// execute compiles, simulates, and records one claimed batch.
-func (w *worker) execute(batch []*job) {
+// executeIsolated drives one claimed batch through the retrying
+// executor behind a last-resort recover: whatever escapes the
+// per-phase isolation fails the batch (in its current, possibly
+// fallback-shrunk form) with the recovered message, and the worker
+// loop stays alive.
+func (w *worker) executeIsolated(batch []*job) {
+	cur := batch
+	defer func() {
+		if r := recover(); r != nil {
+			w.svc.metrics.PanicsRecovered.Inc()
+			w.fail(cur, fmt.Errorf("worker panic: %v", r))
+			w.breakerFailure()
+		}
+	}()
+	w.execute(&cur)
+}
+
+// execute runs the batch, retrying transient failures with capped
+// deterministic backoff (base<<attempt, capped at RetryMaxDelay) and
+// feeding the circuit breaker. curp tracks the live batch: the
+// co-location fallback inside an attempt may shrink it.
+func (w *worker) execute(curp *[]*job) {
 	s := w.svc
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		err := w.attempt(curp)
+		if err == nil {
+			w.breakerSuccess()
+			return
+		}
+		lastErr = err
+		if attempt >= s.cfg.MaxRetries || !isTransient(err) {
+			break
+		}
+		s.metrics.BatchRetries.Inc()
+		sleepInterruptible(s.stopCh, backoffDelay(s.cfg, attempt))
+	}
+	if errors.Is(lastErr, context.DeadlineExceeded) {
+		s.metrics.BatchTimeouts.Inc()
+		lastErr = fmt.Errorf("batch deadline (%s) exceeded: %w", s.cfg.BatchTimeout, lastErr)
+	}
+	w.fail(*curp, lastErr)
+	w.breakerFailure()
+}
+
+// attempt is one full compile+simulate pass over the live batch under
+// the per-batch deadline. On success it records results and returns
+// nil; any error leaves the batch claimed for the caller's
+// retry/fail decision.
+func (w *worker) attempt(curp *[]*job) error {
+	s := w.svc
+	batch := *curp
+	ctx := context.Background()
+	if s.cfg.BatchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.BatchTimeout)
+		defer cancel()
+	}
+
 	start := time.Now()
 	progs := make([]*circuit.Circuit, len(batch))
-	s.mu.Lock()
-	for i, j := range batch {
-		j.rec.State = StateCompiling
-		progs[i] = j.item.Circ
-	}
-	s.mu.Unlock()
+	func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for i, j := range batch {
+			j.rec.State = StateCompiling
+			progs[i] = j.item.Circ
+		}
+	}()
 
+	m := s.metrics
 	strat := strategyFor(len(batch))
-	res, err := w.comp.Compile(progs, strat)
-	if err != nil && len(batch) > 1 {
+	res, err := w.compile(ctx, progs, strat)
+	m.CompileLatency.Observe(time.Since(start).Seconds())
+	if err != nil && len(batch) > 1 && ctx.Err() == nil {
 		// Co-location failed after all: put the tail back and run the
-		// head alone, as the offline cloudsim does.
+		// head alone, as the offline cloudsim does. The fallback
+		// retry's duration is measured on its own — the failed
+		// co-located attempt must not inflate its compile latency.
+		m.FallbackBatches.Inc()
 		w.requeueFront(batch[1:])
 		batch, progs = batch[:1], progs[:1]
+		*curp = batch
 		strat = core.Separate
-		res, err = w.comp.Compile(progs, strat)
+		retryStart := time.Now()
+		res, err = w.compile(ctx, progs, strat)
+		m.CompileLatency.Observe(time.Since(retryStart).Seconds())
 	}
-	compiled := time.Now()
 	if err != nil {
-		w.fail(batch, fmt.Errorf("compile: %w", err))
-		return
+		return fmt.Errorf("compile: %w", err)
 	}
 
-	psts, err := w.comp.Simulate(res, s.cfg.Trials, w.nextSeed(), s.cfg.Noise)
+	simStart := time.Now()
+	psts, err := w.simulate(ctx, res)
 	executed := time.Now()
 	if err != nil {
-		w.fail(batch, fmt.Errorf("execute: %w", err))
-		return
+		return fmt.Errorf("execute: %w", err)
 	}
-	avg := 0.0
-	for _, p := range psts {
-		avg += p
+	// Guard the average before it reaches the adaptive controller: a
+	// count mismatch or non-finite PST would poison epsilon adaptation
+	// with NaN forever after.
+	avg, err := batchAvgPST(psts, len(batch))
+	if err != nil {
+		return fmt.Errorf("execute: %w", err)
 	}
-	avg /= float64(len(psts))
 
 	// Adaptive control: compare achieved fidelity to the
 	// separate-execution estimate and let the controller move epsilon.
 	var newEps float64
 	adapted := false
 	if w.ctrl != nil {
-		if sepEst, estErr := quos.SeparateEstimate(w.comp, progs, s.cfg.Noise); estErr == nil {
+		if sepEst, estErr := quos.SeparateEstimateContext(ctx, w.comp, progs, s.cfg.Noise); estErr == nil {
 			w.ctrl.Observe(len(progs) > 1, avg, sepEst)
 			newEps = w.ctrl.Epsilon()
 			adapted = true
@@ -237,68 +441,195 @@ func (w *worker) execute(batch []*job) {
 	for i, j := range batch {
 		seqs[i] = j.rec.Seq
 	}
-	s.mu.Lock()
-	for i, j := range batch {
-		j.rec.State = StateDone
-		j.rec.PST = psts[i]
-		j.rec.ServiceSeconds = executed.Sub(j.claimed).Seconds()
-	}
-	if adapted {
-		w.eps = newEps
-	}
-	w.busy = false
-	w.jobsDone += int64(len(batch))
-	w.batchesDone++
-	w.trace = append(w.trace, cloudsim.BatchRecord{
-		JobIDs:     seqs,
-		Start:      start.Sub(s.start).Seconds(),
-		Finish:     executed.Sub(s.start).Seconds(),
-		Depth:      res.Depth,
-		CNOTs:      res.CNOTs,
-		Strategy:   strat,
-		QubitsUsed: qubits,
-	})
-	if len(w.trace) > s.cfg.TraceDepth {
-		w.trace = w.trace[len(w.trace)-s.cfg.TraceDepth:]
-	}
-	s.mu.Unlock()
+	func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for i, j := range batch {
+			j.rec.State = StateDone
+			j.rec.PST = psts[i]
+			j.rec.ServiceSeconds = executed.Sub(j.claimed).Seconds()
+			s.markTerminalLocked(j)
+		}
+		if adapted {
+			w.eps = newEps
+		}
+		w.busy = false
+		w.jobsDone += int64(len(batch))
+		w.batchesDone++
+		w.trace = append(w.trace, cloudsim.BatchRecord{
+			JobIDs:     seqs,
+			Start:      start.Sub(s.start).Seconds(),
+			Finish:     executed.Sub(s.start).Seconds(),
+			Depth:      res.Depth,
+			CNOTs:      res.CNOTs,
+			Strategy:   strat,
+			QubitsUsed: qubits,
+		})
+		if len(w.trace) > s.cfg.TraceDepth {
+			w.trace = w.trace[len(w.trace)-s.cfg.TraceDepth:]
+		}
+	}()
 
-	m := s.metrics
 	m.BatchesExecuted.Inc()
 	m.BatchSize.Observe(float64(len(batch)))
 	if len(batch) > 1 {
 		m.ColocatedBatches.Inc()
 		m.ColocatedJobs.Add(int64(len(batch)))
 	}
-	m.CompileLatency.Observe(compiled.Sub(start).Seconds())
-	m.ExecLatency.Observe(executed.Sub(compiled).Seconds())
+	m.ExecLatency.Observe(executed.Sub(simStart).Seconds())
 	m.InFlight.Add(-int64(len(batch)))
 	for i, j := range batch {
 		m.JobsCompleted.Inc()
 		m.TotalLatency.Observe(executed.Sub(j.rec.SubmittedAt).Seconds())
 		m.PST.Observe(psts[i])
 	}
+	return nil
+}
+
+// compile runs one batch compilation with fault injection and panic
+// containment: a compiler panic fails the batch with the recovered
+// message instead of unwinding the worker.
+func (w *worker) compile(ctx context.Context, progs []*circuit.Circuit, strat core.Strategy) (res *core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.svc.metrics.PanicsRecovered.Inc()
+			res, err = nil, fmt.Errorf("compiler panic: %v", r)
+		}
+	}()
+	if err := w.svc.cfg.Faults.Visit(ctx, faultinject.SiteCompile); err != nil {
+		return nil, err
+	}
+	return w.comp.CompileContext(ctx, progs, strat)
+}
+
+// simulate runs the compiled batch with fault injection and panic
+// containment, under the batch deadline.
+func (w *worker) simulate(ctx context.Context, res *core.Result) (psts []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.svc.metrics.PanicsRecovered.Inc()
+			psts, err = nil, fmt.Errorf("simulator panic: %v", r)
+		}
+	}()
+	if err := w.svc.cfg.Faults.Visit(ctx, faultinject.SiteSimulate); err != nil {
+		return nil, err
+	}
+	return w.comp.SimulateContext(ctx, res, w.svc.cfg.Trials, w.nextSeed(), w.svc.cfg.Noise)
+}
+
+// batchAvgPST averages the per-program PSTs, rejecting the count
+// mismatches and non-finite values that would otherwise feed NaN into
+// quos epsilon adaptation.
+func batchAvgPST(psts []float64, want int) (float64, error) {
+	if len(psts) == 0 || len(psts) != want {
+		return 0, fmt.Errorf("internal: simulator returned %d PSTs for %d programs", len(psts), want)
+	}
+	sum := 0.0
+	for i, p := range psts {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return 0, fmt.Errorf("internal: simulator returned non-finite PST %v for program %d", p, i)
+		}
+		sum += p
+	}
+	return sum / float64(len(psts)), nil
 }
 
 // fail marks every job in the batch failed.
 func (w *worker) fail(batch []*job, err error) {
 	s := w.svc
 	now := time.Now()
-	s.mu.Lock()
-	for _, j := range batch {
-		j.rec.State = StateFailed
-		j.rec.Error = err.Error()
-		j.rec.ServiceSeconds = now.Sub(j.claimed).Seconds()
-	}
-	w.busy = false
-	w.batchesDone++
-	s.mu.Unlock()
+	func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for _, j := range batch {
+			j.rec.State = StateFailed
+			j.rec.Error = err.Error()
+			j.rec.ServiceSeconds = now.Sub(j.claimed).Seconds()
+			s.markTerminalLocked(j)
+		}
+		w.busy = false
+		w.batchesDone++
+	}()
 	s.metrics.BatchesExecuted.Inc()
 	s.metrics.BatchSize.Observe(float64(len(batch)))
 	s.metrics.InFlight.Add(-int64(len(batch)))
 	for _, j := range batch {
 		s.metrics.JobsFailed.Inc()
 		s.metrics.TotalLatency.Observe(now.Sub(j.rec.SubmittedAt).Seconds())
+	}
+}
+
+// breakerSuccess records a successful batch: the failure streak resets
+// and a half-open probe (or a drain-bypass probe) closes the breaker.
+func (w *worker) breakerSuccess() {
+	s := w.svc
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w.brk.state != breakerClosed {
+		w.brk.state = breakerClosed
+		s.metrics.OpenBreakers.Add(-1)
+	}
+	w.brk.fails = 0
+}
+
+// breakerFailure records a failed batch: a failed half-open probe
+// re-opens immediately; BreakerThreshold consecutive failures trip a
+// closed breaker. A threshold of 0 disables the breaker.
+func (w *worker) breakerFailure() {
+	s := w.svc
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.brk.fails++
+	switch w.brk.state {
+	case breakerHalfOpen:
+		w.brk.state = breakerOpen
+		w.brk.openedAt = time.Now()
+		w.brk.opens++
+		s.metrics.BreakerTrips.Inc()
+	case breakerClosed:
+		if s.cfg.BreakerThreshold > 0 && w.brk.fails >= s.cfg.BreakerThreshold {
+			w.brk.state = breakerOpen
+			w.brk.openedAt = time.Now()
+			w.brk.opens++
+			s.metrics.BreakerTrips.Inc()
+			s.metrics.OpenBreakers.Add(1)
+		}
+	}
+}
+
+// isTransient reports whether the error advertises itself as
+// retryable via a Transient() bool method (net.Error style; the
+// fault-injection harness' burst errors do).
+func isTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// backoffDelay is the deterministic capped retry backoff for the
+// zero-based attempt number: RetryBaseDelay << attempt, capped at
+// RetryMaxDelay.
+func backoffDelay(cfg Config, attempt int) time.Duration {
+	if attempt > 30 {
+		return cfg.RetryMaxDelay
+	}
+	d := cfg.RetryBaseDelay << uint(attempt)
+	if d <= 0 || d > cfg.RetryMaxDelay {
+		d = cfg.RetryMaxDelay
+	}
+	return d
+}
+
+// sleepInterruptible sleeps for d or until stop closes, whichever
+// comes first.
+func sleepInterruptible(stop <-chan struct{}, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-stop:
 	}
 }
 
@@ -313,6 +644,13 @@ func (w *worker) statusLocked() BackendStatus {
 		Busy:            w.busy,
 		JobsCompleted:   w.jobsDone,
 		BatchesExecuted: w.batchesDone,
+		Breaker: BreakerStatus{
+			State:               w.brk.state,
+			ConsecutiveFailures: w.brk.fails,
+			Opens:               w.brk.opens,
+		},
+		SchedulerErrors: w.schedErrs,
+		LastSchedError:  w.lastSchedErr,
 		RecentBatches:   append([]cloudsim.BatchRecord(nil), w.trace...),
 	}
 }

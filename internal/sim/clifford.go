@@ -29,6 +29,16 @@ func SimulateScheduleClifford(d *arch.Device, sched *router.Schedule, progs []*c
 // execution) and the same shard-per-RNG determinism contract as
 // SimulateScheduleWorkers.
 func SimulateScheduleCliffordWorkers(d *arch.Device, sched *router.Schedule, progs []*circuit.Circuit, trials int, seed int64, noise NoiseModel, workers int) (*Outcome, error) {
+	return SimulateScheduleCliffordCtx(context.Background(), d, sched, progs, trials, seed, noise, workers)
+}
+
+// SimulateScheduleCliffordCtx is SimulateScheduleCliffordWorkers with a
+// caller-supplied context, checked at shard boundaries like
+// SimulateScheduleCtx.
+func SimulateScheduleCliffordCtx(ctx context.Context, d *arch.Device, sched *router.Schedule, progs []*circuit.Circuit, trials int, seed int64, noise NoiseModel, workers int) (*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if trials <= 0 {
 		return nil, fmt.Errorf("sim: trials must be positive, got %d", trials)
 	}
@@ -91,7 +101,7 @@ func SimulateScheduleCliffordWorkers(d *arch.Device, sched *router.Schedule, pro
 
 	shards := numShards(trials)
 	perShard := make([][]int, shards)
-	ferr := pool.ForEach(context.Background(), shards, workers, func(s int) error {
+	ferr := pool.ForEach(ctx, shards, workers, func(s int) error {
 		rng := rand.New(rand.NewSource(shardSeed(seed, s)))
 		lo, hi := shardRange(s, trials)
 		succ := make([]int, len(progs))

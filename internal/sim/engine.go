@@ -156,6 +156,18 @@ func SimulateSchedule(d *arch.Device, sched *router.Schedule, progs []*circuit.C
 // counter-derived RNG, so every worker count produces bit-identical
 // PSTs.
 func SimulateScheduleWorkers(d *arch.Device, sched *router.Schedule, progs []*circuit.Circuit, trials int, seed int64, noise NoiseModel, workers int) (*Outcome, error) {
+	return SimulateScheduleCtx(context.Background(), d, sched, progs, trials, seed, noise, workers)
+}
+
+// SimulateScheduleCtx is SimulateScheduleWorkers with a caller-supplied
+// context: cancellation is checked at shard boundaries, so a service
+// deadline abandons the remaining trial budget and returns the
+// context's error. An uncancelled context leaves the result
+// bit-identical to SimulateScheduleWorkers.
+func SimulateScheduleCtx(ctx context.Context, d *arch.Device, sched *router.Schedule, progs []*circuit.Circuit, trials int, seed int64, noise NoiseModel, workers int) (*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if trials <= 0 {
 		return nil, fmt.Errorf("sim: trials must be positive, got %d", trials)
 	}
@@ -204,7 +216,7 @@ func SimulateScheduleWorkers(d *arch.Device, sched *router.Schedule, progs []*ci
 	// shards are spread over goroutines.
 	shards := numShards(trials)
 	perShard := make([][]int, shards)
-	ferr := pool.ForEach(context.Background(), shards, workers, func(s int) error {
+	ferr := pool.ForEach(ctx, shards, workers, func(s int) error {
 		rng := rand.New(rand.NewSource(shardSeed(seed, s)))
 		lo, hi := shardRange(s, trials)
 		succ := make([]int, len(progs))
