@@ -23,7 +23,7 @@ lint:
 # simulation/compile engines plus their worker pool).
 test: vet lint
 	$(GO) test ./...
-	$(GO) test -race ./internal/service/... ./internal/sched/... ./internal/cloudsim/... ./cmd/qucloudd/... ./internal/sim/... ./internal/core/... ./internal/pool/...
+	$(GO) test -race ./internal/service/... ./internal/sched/... ./internal/cloudsim/... ./cmd/qucloudd/... ./internal/sim/... ./internal/core/... ./internal/pool/... ./internal/ccache/...
 	$(MAKE) chaos
 
 # Fault-injection chaos suite: drives the full qucloudd HTTP service
@@ -52,14 +52,18 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseQASMString -fuzztime 10s ./internal/circuit
 	$(GO) test -run '^$$' -fuzz FuzzDeviceSpec -fuzztime 10s ./internal/arch
 
-# Machine-readable benchmark record for the parallel engine: the
-# sequential-vs-parallel Simulate micro-benches and the Table 2
-# compile pipeline, rendered to BENCH_parallel.json.
+# Machine-readable benchmark records: the sequential-vs-parallel
+# Simulate micro-benches and the Table 2 compile pipeline go to
+# BENCH_parallel.json; the cold-vs-warm compile-cache pair goes to
+# BENCH_cache.json with a derived warm_speedup ratio.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimulate(Clifford)?(Sequential|Parallel)$$' -benchtime 3x ./internal/sim \
 		| $(GO) run ./cmd/benchjson -o BENCH_parallel.json -label simulate
 	$(GO) test -run '^$$' -bench 'BenchmarkTable2$$' -benchtime 1x . \
 		| $(GO) run ./cmd/benchjson -o BENCH_parallel.json -label table2 -append
+	$(GO) test -run '^$$' -bench 'BenchmarkCacheCompile(Cold|Warm)$$' -benchtime 20x . \
+		| $(GO) run ./cmd/benchjson -o BENCH_cache.json -label cache \
+			-ratio warm_speedup=CacheCompileCold/CacheCompileWarm
 
 cover:
 	$(GO) test -cover ./...

@@ -11,9 +11,11 @@ package qucloud
 // the reproduction record summarized in EXPERIMENTS.md.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/ccache"
 	"repro/internal/circuit"
 	"repro/internal/community"
 	"repro/internal/nisqbench"
@@ -282,6 +284,48 @@ func BenchmarkEndToEnd(b *testing.B) {
 		comp.Attempts = 1
 		if _, err := comp.Compile(progs, CDAPXSwap); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheCompileCold measures the cache-aware compile entry
+// point when every lookup misses (fresh cache per iteration): the
+// full pipeline plus fingerprint + store overhead. Paired with
+// BenchmarkCacheCompileWarm it yields the warm-cache speedup recorded
+// in BENCH_cache.json.
+func BenchmarkCacheCompileCold(b *testing.B) {
+	progs := []*circuit.Circuit{nisqbench.MustGet("bv_n3"), nisqbench.MustGet("3_17_13")}
+	comp := NewCompiler(arch.IBMQ16(0))
+	comp.Attempts = 2
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache := ccache.New(32)
+		if _, out, err := comp.CompileCachedContext(ctx, cache, progs, CDAPXSwap); err != nil {
+			b.Fatal(err)
+		} else if out != ccache.OutcomeMiss {
+			b.Fatalf("outcome %v, want miss", out)
+		}
+	}
+}
+
+// BenchmarkCacheCompileWarm measures the same workload against a
+// primed cache: fingerprint + lookup only, no compilation.
+func BenchmarkCacheCompileWarm(b *testing.B) {
+	progs := []*circuit.Circuit{nisqbench.MustGet("bv_n3"), nisqbench.MustGet("3_17_13")}
+	comp := NewCompiler(arch.IBMQ16(0))
+	comp.Attempts = 2
+	ctx := context.Background()
+	cache := ccache.New(32)
+	if _, _, err := comp.CompileCachedContext(ctx, cache, progs, CDAPXSwap); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, out, err := comp.CompileCachedContext(ctx, cache, progs, CDAPXSwap); err != nil {
+			b.Fatal(err)
+		} else if out != ccache.OutcomeHit {
+			b.Fatalf("outcome %v, want hit", out)
 		}
 	}
 }

@@ -32,6 +32,15 @@ type Benchmark struct {
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
+// Ratio is a derived metric: the ns/op of one benchmark divided by
+// another's, e.g. a cold-vs-warm cache speedup.
+type Ratio struct {
+	Name        string  `json:"name"`
+	Numerator   string  `json:"numerator"`
+	Denominator string  `json:"denominator"`
+	Value       float64 `json:"value"`
+}
+
 // Group is the output of a single `go test -bench` run.
 type Group struct {
 	Label      string      `json:"label"`
@@ -40,6 +49,43 @@ type Group struct {
 	Package    string      `json:"package,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+	Ratios     []Ratio     `json:"ratios,omitempty"`
+}
+
+// deriveRatio evaluates a "name=Num/Den" spec against the parsed
+// benchmarks (names as emitted, without the Benchmark prefix or -procs
+// suffix) and appends the derived entry to the group.
+func deriveRatio(g *Group, spec string) error {
+	name, expr, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("-ratio %q: want name=Numerator/Denominator", spec)
+	}
+	num, den, ok := strings.Cut(expr, "/")
+	if !ok {
+		return fmt.Errorf("-ratio %q: want name=Numerator/Denominator", spec)
+	}
+	find := func(bench string) (float64, error) {
+		for _, b := range g.Benchmarks {
+			if b.Name == bench {
+				return b.NsPerOp, nil
+			}
+		}
+		return 0, fmt.Errorf("-ratio %q: benchmark %q not in this run", spec, bench)
+	}
+	nv, err := find(num)
+	if err != nil {
+		return err
+	}
+	dv, err := find(den)
+	if err != nil {
+		return err
+	}
+	//lint:ignore floateq guarding literal division by zero, not comparing measurements
+	if dv == 0 {
+		return fmt.Errorf("-ratio %q: denominator %q has zero ns/op", spec, den)
+	}
+	g.Ratios = append(g.Ratios, Ratio{Name: name, Numerator: num, Denominator: den, Value: nv / dv})
+	return nil
 }
 
 // Document is the whole JSON file: one group per bench invocation.
@@ -105,13 +151,18 @@ func parse(r io.Reader, label string) (Group, error) {
 	return g, sc.Err()
 }
 
-func run(in io.Reader, out string, label string, appendMode bool) error {
+func run(in io.Reader, out string, label string, appendMode bool, ratios []string) error {
 	g, err := parse(in, label)
 	if err != nil {
 		return err
 	}
 	if len(g.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark result lines found on stdin")
+	}
+	for _, spec := range ratios {
+		if err := deriveRatio(&g, spec); err != nil {
+			return err
+		}
 	}
 	var doc Document
 	if appendMode {
@@ -139,12 +190,20 @@ func run(in io.Reader, out string, label string, appendMode bool) error {
 	return os.WriteFile(out, append(data, '\n'), 0o644)
 }
 
+// ratioFlags collects repeated -ratio specs.
+type ratioFlags []string
+
+func (r *ratioFlags) String() string     { return strings.Join(*r, ",") }
+func (r *ratioFlags) Set(s string) error { *r = append(*r, s); return nil }
+
 func main() {
 	out := flag.String("o", "BENCH.json", "output JSON file")
 	label := flag.String("label", "bench", "label for this benchmark group")
 	appendMode := flag.Bool("append", false, "merge into an existing output file instead of overwriting")
+	var ratios ratioFlags
+	flag.Var(&ratios, "ratio", "derived speedup entry name=Numerator/Denominator (repeatable; names without the Benchmark prefix)")
 	flag.Parse()
-	if err := run(os.Stdin, *out, *label, *appendMode); err != nil {
+	if err := run(os.Stdin, *out, *label, *appendMode, ratios); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -38,15 +38,15 @@ func TestParseBenchLine(t *testing.T) {
 
 func TestRunWriteAndAppend(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
-	if err := run(strings.NewReader(sampleBenchOutput), out, "simulate", false); err != nil {
+	if err := run(strings.NewReader(sampleBenchOutput), out, "simulate", false, nil); err != nil {
 		t.Fatal(err)
 	}
 	second := "BenchmarkTable2-1 1 987654321 ns/op\n"
-	if err := run(strings.NewReader(second), out, "table2", true); err != nil {
+	if err := run(strings.NewReader(second), out, "table2", true, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Re-running a label replaces its group instead of duplicating it.
-	if err := run(strings.NewReader(second), out, "table2", true); err != nil {
+	if err := run(strings.NewReader(second), out, "table2", true, nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -71,9 +71,56 @@ func TestRunWriteAndAppend(t *testing.T) {
 	}
 }
 
+const cacheBenchOutput = `goos: linux
+BenchmarkCacheCompileCold-8   	      10	  50000000 ns/op
+BenchmarkCacheCompileWarm-8   	  100000	      5000 ns/op
+PASS
+`
+
+func TestRunDerivesRatios(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	specs := []string{"warm_speedup=CacheCompileCold/CacheCompileWarm"}
+	if err := run(strings.NewReader(cacheBenchOutput), out, "cache", false, specs); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	rs := doc.Groups[0].Ratios
+	if len(rs) != 1 {
+		t.Fatalf("got %d ratios, want 1: %+v", len(rs), rs)
+	}
+	r := rs[0]
+	if r.Name != "warm_speedup" || r.Numerator != "CacheCompileCold" || r.Denominator != "CacheCompileWarm" {
+		t.Fatalf("bad ratio fields: %+v", r)
+	}
+	if r.Value != 10000 {
+		t.Fatalf("ratio value %v, want 10000", r.Value)
+	}
+}
+
+func TestRunRatioErrors(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	for _, spec := range []string{
+		"noequals",
+		"name=NoSlash",
+		"name=Missing/CacheCompileWarm",
+		"name=CacheCompileCold/Missing",
+	} {
+		if err := run(strings.NewReader(cacheBenchOutput), out, "cache", false, []string{spec}); err == nil {
+			t.Errorf("spec %q accepted, want error", spec)
+		}
+	}
+}
+
 func TestRunRejectsEmptyInput(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
-	if err := run(strings.NewReader("PASS\n"), out, "x", false); err == nil {
+	if err := run(strings.NewReader("PASS\n"), out, "x", false, nil); err == nil {
 		t.Fatal("expected an error for input with no benchmark lines")
 	}
 }

@@ -92,6 +92,7 @@ func runServe(args []string) error {
 		brkThresh    = fs.Int("breaker-threshold", 5, "consecutive batch failures before a backend's breaker opens (negative disables)")
 		brkCooldown  = fs.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before a half-open probe")
 		history      = fs.Int("history", 4096, "terminal job records retained per service (negative keeps all)")
+		cacheSize    = fs.Int("cache-size", 1024, "compile-cache entries (0 uses the default, negative disables caching)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -116,6 +117,7 @@ func runServe(args []string) error {
 	cfg.BreakerThreshold = *brkThresh
 	cfg.BreakerCooldown = *brkCooldown
 	cfg.MaxJobHistory = *history
+	cfg.CacheSize = *cacheSize
 	svc, err := service.New(devices, cfg)
 	if err != nil {
 		return err

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs f with os.Stdout redirected into a pipe and
+// returns everything it printed. The experiment functions write to
+// os.Stdout directly, so the smoke tests intercept it.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	ferr := f()
+	w.Close()
+	out := <-done
+	os.Stdout = old
+	if ferr != nil {
+		t.Fatalf("experiment failed: %v\noutput so far:\n%s", ferr, out)
+	}
+	return out
+}
+
+// TestFig8Smoke regenerates the London dendrogram, the fastest and
+// fully deterministic experiment: pure topology clustering, no
+// simulation.
+func TestFig8Smoke(t *testing.T) {
+	out := captureStdout(t, fig8)
+	for _, want := range []string{"Figure 8", "IBM Q London", "omega = 0.95"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig8 output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "\n") < 5 {
+		t.Errorf("fig8 output suspiciously short:\n%s", out)
+	}
+}
+
+// TestFig8Golden: fig8 depends only on the fixed London coupling map,
+// so repeated runs must be byte-identical.
+func TestFig8Golden(t *testing.T) {
+	first := captureStdout(t, fig8)
+	second := captureStdout(t, fig8)
+	if first != second {
+		t.Fatalf("fig8 output differs across runs:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+}

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -22,25 +23,32 @@ import (
 )
 
 func main() {
-	var (
-		chip     = flag.String("chip", "ibmq16", "target chip: ibmq16 or ibmq50")
-		seed     = flag.Int64("seed", 0, "calibration seed")
-		eps      = flag.Float64("eps", 0.15, "EPST violation threshold")
-		look     = flag.Int("lookahead", 10, "scheduler lookahead N")
-		maxCo    = flag.Int("max-colocate", 3, "max programs per batch")
-		trials   = flag.Int("trials", 1000, "Monte-Carlo trials per batch")
-		jobNames = flag.String("jobs", "", "comma-separated benchmark names (default: tiny+small suite x2)")
-	)
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "qusched:", err)
+		os.Exit(1)
+	}
+}
 
-	var d *arch.Device
-	switch *chip {
-	case "ibmq16":
-		d = arch.IBMQ16(*seed)
-	case "ibmq50":
-		d = arch.IBMQ50(*seed)
-	default:
-		fatal(fmt.Errorf("unknown chip %q", *chip))
+// run owns the whole command so tests can drive it with an argument
+// list and capture its report from w.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("qusched", flag.ContinueOnError)
+	var (
+		chip     = fs.String("chip", "ibmq16", "target chip ("+strings.Join(arch.StandardDevices(), ",")+")")
+		seed     = fs.Int64("seed", 0, "calibration seed")
+		eps      = fs.Float64("eps", 0.15, "EPST violation threshold")
+		look     = fs.Int("lookahead", 10, "scheduler lookahead N")
+		maxCo    = fs.Int("max-colocate", 3, "max programs per batch")
+		trials   = fs.Int("trials", 1000, "Monte-Carlo trials per batch")
+		jobNames = fs.String("jobs", "", "comma-separated benchmark names (default: tiny+small suite x2)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	d, err := arch.ByName(*chip, *seed)
+	if err != nil {
+		return err
 	}
 
 	var jobs []sched.Job
@@ -50,7 +58,7 @@ func main() {
 		for i, name := range strings.Split(*jobNames, ",") {
 			c, err := nisqbench.Get(strings.TrimSpace(name))
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			jobs = append(jobs, sched.Job{ID: i, Circ: c})
 		}
@@ -69,10 +77,10 @@ func main() {
 	}
 	batches, err := sched.Schedule(d, jobs, cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	fmt.Printf("chip %s, %d jobs -> %d batches (eps=%.2f, N=%d)\n\n",
+	fmt.Fprintf(w, "chip %s, %d jobs -> %d batches (eps=%.2f, N=%d)\n\n",
 		d.Name, len(jobs), len(batches), *eps, *look)
 	comp := qucloud.NewCompiler(d)
 	comp.Attempts = 2
@@ -93,24 +101,20 @@ func main() {
 		if err != nil {
 			res, err = comp.Compile(progs, qucloud.Separate)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 		}
 		psts, err := comp.Simulate(res, *trials, *seed+int64(bi), noise)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("batch %2d (%s): %s\n", bi, res.Strategy, strings.Join(names, " + "))
+		fmt.Fprintf(w, "batch %2d (%s): %s\n", bi, res.Strategy, strings.Join(names, " + "))
 		for i, pst := range psts {
-			fmt.Printf("    %-16s PST %5.1f%%\n", names[i], pst*100)
+			fmt.Fprintf(w, "    %-16s PST %5.1f%%\n", names[i], pst*100)
 			totalPST += pst * 100
 			count++
 		}
 	}
-	fmt.Printf("\navg PST %.1f%%, TRF %.3f\n", totalPST/float64(count), sched.TRF(len(jobs), batches))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "qusched:", err)
-	os.Exit(1)
+	fmt.Fprintf(w, "\navg PST %.1f%%, TRF %.3f\n", totalPST/float64(count), sched.TRF(len(jobs), batches))
+	return nil
 }

@@ -1,6 +1,7 @@
 package qucloud
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"runtime"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/arch"
+	"repro/internal/ccache"
 	"repro/internal/circuit"
 	"repro/internal/nisqbench"
 	"repro/internal/sim"
@@ -65,6 +67,100 @@ func TestCompileSimulateDeterministicAcrossGOMAXPROCS(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestCachedCompileDifferential is the compile-cache counterpart of the
+// GOMAXPROCS sweep: for every strategy, at every parallelism width, the
+// cache-aware entry point must be byte-identical to the uncached path —
+// on a cold cache (miss: it compiles and stores) and on a warm one
+// (hit: it returns the stored result). The fingerprints compare
+// schedule-derived counts and simulated PSTs with hex-exact floats, and
+// every value must also match across the three GOMAXPROCS settings.
+func TestCachedCompileDifferential(t *testing.T) {
+	progs := []*circuit.Circuit{nisqbench.MustGet("bv_n3"), nisqbench.MustGet("3_17_13")}
+	const trials = 400
+	ctx := context.Background()
+	for _, strat := range Strategies {
+		t.Run(strat.String(), func(t *testing.T) {
+			var prints []string
+			for _, gmp := range []int{1, 2, 8} {
+				withGOMAXPROCS(gmp, func() {
+					comp := NewCompiler(arch.IBMQ16(0))
+					comp.Attempts = 2
+					cache := ccache.New(32)
+
+					uncached, err := comp.Compile(progs, strat)
+					if err != nil {
+						t.Fatalf("GOMAXPROCS=%d: uncached Compile: %v", gmp, err)
+					}
+					missRes, out, err := comp.CompileCachedContext(ctx, cache, progs, strat)
+					if err != nil {
+						t.Fatalf("GOMAXPROCS=%d: cached Compile (cold): %v", gmp, err)
+					}
+					if out != ccache.OutcomeMiss {
+						t.Fatalf("GOMAXPROCS=%d: cold lookup outcome %v, want miss", gmp, out)
+					}
+					hitRes, out, err := comp.CompileCachedContext(ctx, cache, progs, strat)
+					if err != nil {
+						t.Fatalf("GOMAXPROCS=%d: cached Compile (warm): %v", gmp, err)
+					}
+					if out != ccache.OutcomeHit {
+						t.Fatalf("GOMAXPROCS=%d: warm lookup outcome %v, want hit", gmp, out)
+					}
+					if hitRes != missRes {
+						t.Fatalf("GOMAXPROCS=%d: warm hit returned a different *Result than the stored one", gmp)
+					}
+					if !reflect.DeepEqual(uncached.Schedules, missRes.Schedules) ||
+						!reflect.DeepEqual(uncached.Initial, missRes.Initial) {
+						t.Fatalf("GOMAXPROCS=%d: cached schedules diverge from uncached", gmp)
+					}
+
+					for _, res := range []*Result{uncached, missRes} {
+						psts, err := comp.Simulate(res, trials, 9, sim.DefaultNoise())
+						if err != nil {
+							t.Fatalf("GOMAXPROCS=%d: Simulate: %v", gmp, err)
+						}
+						prints = append(prints, fingerprint(res, psts))
+					}
+				})
+			}
+			for i := 1; i < len(prints); i++ {
+				if prints[i] != prints[0] {
+					t.Fatalf("cached/uncached results diverge:\n  first: %s\n  other: %s", prints[0], prints[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCacheInvalidatedByCalibration: the fingerprint embeds the
+// device's calibration version, so applying fresh calibration data must
+// turn the next identical compile into a miss (stale entries become
+// unreachable garbage) rather than serving a result mapped for error
+// rates that no longer exist.
+func TestCacheInvalidatedByCalibration(t *testing.T) {
+	progs := []*circuit.Circuit{nisqbench.MustGet("bv_n3")}
+	dev := arch.IBMQ16(0)
+	comp := NewCompiler(dev)
+	comp.Attempts = 2
+	cache := ccache.New(32)
+	ctx := context.Background()
+
+	keyBefore := comp.CacheKey(progs, CDAPXSwap).Fingerprint()
+	if _, out, err := comp.CompileCachedContext(ctx, cache, progs, CDAPXSwap); err != nil || out != ccache.OutcomeMiss {
+		t.Fatalf("first compile: outcome=%v err=%v", out, err)
+	}
+	if _, out, err := comp.CompileCachedContext(ctx, cache, progs, CDAPXSwap); err != nil || out != ccache.OutcomeHit {
+		t.Fatalf("repeat compile: outcome=%v err=%v", out, err)
+	}
+
+	arch.ApplyCalibration(dev, arch.GenerateCalibration(dev, 99))
+	if keyAfter := comp.CacheKey(progs, CDAPXSwap).Fingerprint(); keyAfter == keyBefore {
+		t.Fatal("calibration update did not change the cache key")
+	}
+	if _, out, err := comp.CompileCachedContext(ctx, cache, progs, CDAPXSwap); err != nil || out != ccache.OutcomeMiss {
+		t.Fatalf("post-calibration compile: outcome=%v err=%v, want a fresh miss", out, err)
 	}
 }
 

@@ -25,6 +25,10 @@ func FuzzParseQASMString(f *testing.F) {
 		"OPENQASM 2.0;\nqreg q[1];\ngate g a { g a; }\ng q[0];", // recursive gate def
 		"OPENQASM 2.0;\nqreg q[999999999];\n",                   // oversized register
 		"OPENQASM 2.0;\nqreg q[1];\nrz(1e308*10) q[0];\n",       // non-finite parameter
+		// Hard-error shapes with offset info: both must stay errors,
+		// and their mutations exercise the offset bookkeeping.
+		"OPENQASM 2.0;\nqreg q[2];\nh q[0]",               // trailing statement, no ';'
+		"OPENQASM 2.0;\nqreg q[2];\ngate g a { cx a,a;\n", // unclosed gate body
 	}
 	for _, s := range seeds {
 		f.Add(s)

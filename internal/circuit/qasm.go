@@ -50,9 +50,17 @@ func ParseQASM(name string, r io.Reader) (*Circuit, error) {
 // splitStatements breaks QASM source into statements: ';' terminates a
 // statement at brace depth 0; a brace-delimited block (a gate body)
 // belongs to its statement and the closing '}' also terminates it.
+// Malformed input is a hard error carrying a byte offset: an unbalanced
+// '}' points at the brace, an unclosed '{' points at the outermost
+// opener left dangling at end of input, and a trailing statement with
+// no terminating ';' points at its first byte. Offsets index the
+// comment-stripped source ParseQASM feeds in (comments removed,
+// newlines flattened to spaces), which matches the original byte
+// positions for comment-free sources.
 func splitStatements(s string) ([]string, error) {
 	var out []string
 	depth, start := 0, 0
+	lastOpen := -1 // offset of the outermost still-open '{'
 	flush := func(end int) {
 		if stmt := strings.TrimSpace(s[start:end]); stmt != "" {
 			out = append(out, stmt)
@@ -61,6 +69,9 @@ func splitStatements(s string) ([]string, error) {
 	for i := 0; i < len(s); i++ {
 		switch s[i] {
 		case '{':
+			if depth == 0 {
+				lastOpen = i
+			}
 			depth++
 		case '}':
 			depth--
@@ -79,10 +90,13 @@ func splitStatements(s string) ([]string, error) {
 		}
 	}
 	if depth != 0 {
-		return nil, fmt.Errorf("unbalanced '{'")
+		return nil, fmt.Errorf("unclosed '{' opened at offset %d reaches end of input", lastOpen)
 	}
 	if stmt := strings.TrimSpace(s[start:]); stmt != "" {
-		return nil, fmt.Errorf("trailing unterminated statement %q", stmt)
+		// Point at the statement text, not the flush boundary: the gap
+		// between them is whitespace the message would mislocate.
+		off := start + strings.Index(s[start:], stmt[:1])
+		return nil, fmt.Errorf("trailing unterminated statement %q at offset %d (missing ';')", stmt, off)
 	}
 	return out, nil
 }

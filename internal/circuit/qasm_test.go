@@ -305,6 +305,44 @@ outer q[0],q[1],q[2];
 	}
 }
 
+// TestSplitStatementsErrorOffsets pins the offset info on the three
+// malformed-input shapes: a trailing statement with no ';', an
+// unclosed '{' reaching end of input, and a stray '}'. Offsets index
+// the cleaned source handed to splitStatements.
+func TestSplitStatementsErrorOffsets(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"qreg q[2]; h q[0]", `trailing unterminated statement "h q[0]" at offset 11`},
+		{"qreg q[2]; gate g a { cx a,a", "unclosed '{' opened at offset 20"},
+		{"qreg q[1]; }", "unbalanced '}' at offset 11"},
+		{"h q[0]", `trailing unterminated statement "h q[0]" at offset 0`},
+		{"{", "unclosed '{' opened at offset 0"},
+	}
+	for _, c := range cases {
+		_, err := splitStatements(c.src)
+		if err == nil {
+			t.Errorf("splitStatements(%q) accepted malformed input", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("splitStatements(%q) error = %q, want it to contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+// TestParseQASMErrorsCarryOffsets checks the offsets survive the
+// ParseQASM wrapping, so a user of the public API can locate the
+// malformed byte.
+func TestParseQASMErrorsCarryOffsets(t *testing.T) {
+	if _, err := ParseQASMString("bad", "qreg q[2]; h q[0]"); err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Errorf("trailing statement error lacks offset info: %v", err)
+	}
+	if _, err := ParseQASMString("bad", "qreg q[2]; gate g a { cx a,a"); err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Errorf("unclosed brace error lacks offset info: %v", err)
+	}
+}
+
 func TestParseQASMGateDefErrors(t *testing.T) {
 	cases := []string{
 		"qreg q[2]; gate g a,b { cx a,b; } g q[0];",           // wrong qubit count

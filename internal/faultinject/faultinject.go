@@ -33,6 +33,21 @@ const (
 	// scheduler runs. The service holds its queue lock there, so rules
 	// at this site should not inject latency (errors and panics only).
 	SiteSchedule Site = "schedule"
+	// SiteCacheLookup fires at the top of each compile-cache lookup. An
+	// injected error makes the cache bypass itself for that call
+	// (compute directly, store nothing); a panic exercises the worker's
+	// panic-isolation path through the cache.
+	SiteCacheLookup Site = "cache-lookup"
+	// SiteCacheStore fires before a computed result is stored into the
+	// compile cache. An injected error suppresses only the store, so a
+	// poisoned or unwritable cache can never fail the compilation it
+	// fronts.
+	SiteCacheStore Site = "cache-store"
+	// SiteLatency is an observation site: workers route measured
+	// latencies through Observe before feeding the metrics histograms,
+	// so chaos tests can substitute NaN/Inf readings and prove the
+	// metrics pipeline rejects them.
+	SiteLatency Site = "latency"
 )
 
 // Plan describes what an activated rule does to the visiting call.
@@ -55,6 +70,11 @@ type Plan struct {
 	// ErrorFree suppresses the injected error: the rule only delays
 	// (pure latency injection). Panic takes precedence.
 	ErrorFree bool
+	// ReplaceObservation makes Observe return Observation instead of
+	// the measured value at observation sites (see SiteLatency). Only
+	// Observe consults these fields; Visit ignores them.
+	ReplaceObservation bool
+	Observation        float64
 }
 
 // Rule activates a Plan on a window of visits to one site. Visits are
@@ -102,7 +122,7 @@ func (e *Error) Transient() bool { return e.Retryable }
 // visit concurrently).
 type Injector struct {
 	mu     sync.Mutex
-	rng    *rand.Rand     // guarded by mu
+	rng    *rand.Rand      // guarded by mu
 	rules  map[Site][]Rule // guarded by mu
 	visits map[Site]int    // guarded by mu
 }
@@ -144,6 +164,14 @@ func (in *Injector) PanicVisits(site Site, from, to int) *Injector {
 // DelayVisits injects pure latency (no error) on visits [from, to].
 func (in *Injector) DelayVisits(site Site, from, to int, d time.Duration) *Injector {
 	return in.Add(site, Rule{From: from, To: to, Plan: Plan{Latency: d, ErrorFree: true}})
+}
+
+// ObserveVisits substitutes v for the measured value on visits
+// [from, to] of an observation site (see Observe). Substituting NaN or
+// ±Inf is the canonical way to prove a metrics consumer rejects
+// poisoned readings.
+func (in *Injector) ObserveVisits(site Site, from, to int, v float64) *Injector {
+	return in.Add(site, Rule{From: from, To: to, Plan: Plan{ReplaceObservation: true, Observation: v}})
 }
 
 // Visits returns how many times the site has been visited.
@@ -205,4 +233,33 @@ func (in *Injector) Visit(ctx context.Context, site Site) error {
 		return nil
 	}
 	return &Error{Site: site, Visit: n, Msg: msg, Retryable: plan.Transient}
+}
+
+// Observe is the measurement hook: callers pass a measured value (a
+// latency, a score) through it before recording the value anywhere.
+// It advances the site's visit counter and, when the first matching
+// rule sets ReplaceObservation, returns the rule's Observation instead
+// of the measurement. A nil injector returns the measurement unchanged,
+// so production code pays one nil check.
+func (in *Injector) Observe(site Site, measured float64) float64 {
+	if in == nil {
+		return measured
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.visits[site]++
+	n := in.visits[site]
+	for _, r := range in.rules[site] {
+		if !r.matches(n) {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && in.rng.Float64() >= r.Prob {
+			continue
+		}
+		if r.Plan.ReplaceObservation {
+			return r.Plan.Observation
+		}
+		break
+	}
+	return measured
 }

@@ -108,6 +108,7 @@ func (p *Package) resolvesToFunc(fun ast.Expr) bool {
 // deliberately NOT listed — they measure real latency.
 var deterministicPkgs = map[string]bool{
 	"internal/arch":      true,
+	"internal/ccache":    true,
 	"internal/circuit":   true,
 	"internal/community": true,
 	"internal/core":      true,

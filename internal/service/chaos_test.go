@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -243,6 +244,172 @@ func TestChaosSchedulerErrorFallback(t *testing.T) {
 	}
 	if backends[0].SchedulerErrors != 1 || !strings.Contains(backends[0].LastSchedError, "injected failure") {
 		t.Fatalf("scheduler error not surfaced in backend status: %+v", backends[0])
+	}
+	shutdownClean(t, svc)
+}
+
+// TestChaosCacheLookupPanicContained injects a panic into the first
+// compile-cache lookup: only that batch fails (with the recovered
+// message) and the worker keeps serving — a faulted cache can never
+// unwind the worker loop. The follow-up job recompiles from scratch
+// (the panicked call stored nothing) and succeeds.
+func TestChaosCacheLookupPanicContained(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.Faults = faultinject.New(1).PanicVisits(faultinject.SiteCacheLookup, 1, 1)
+	svc := newChaosService(t, cfg)
+	svc.Start()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	victim := waitTerminal(t, ts.URL, submitOK(t, ts.URL).ID, 60*time.Second)
+	if victim.State != StateFailed || !strings.Contains(victim.Error, "compiler panic") {
+		t.Fatalf("cache-lookup panic should fail only its batch, got %+v", victim)
+	}
+	if got := svc.Metrics().PanicsRecovered.Value(); got < 1 {
+		t.Fatalf("PanicsRecovered = %d, want >= 1", got)
+	}
+
+	survivor := waitTerminal(t, ts.URL, submitOK(t, ts.URL).ID, 60*time.Second)
+	if survivor.State != StateDone {
+		t.Fatalf("worker did not survive the cache panic: %+v", survivor)
+	}
+	shutdownClean(t, svc)
+}
+
+// TestChaosCacheLookupErrorBypasses injects an error into the first
+// cache lookup: the cache steps aside (the compile runs uncached and is
+// not stored) and the job still succeeds — a cache outage degrades to
+// the uncached path, never to a failed job.
+func TestChaosCacheLookupErrorBypasses(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.Faults = faultinject.New(1).FailVisits(faultinject.SiteCacheLookup, 1, 1)
+	svc := newChaosService(t, cfg)
+	svc.Start()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	first := waitTerminal(t, ts.URL, submitOK(t, ts.URL).ID, 60*time.Second)
+	if first.State != StateDone {
+		t.Fatalf("bypassed job should still succeed, got %+v", first)
+	}
+	m := svc.Metrics()
+	if m.CacheHits.Value() != 0 || m.CacheMisses.Value() != 0 {
+		t.Fatalf("bypass must not move cache counters: hits=%d misses=%d",
+			m.CacheHits.Value(), m.CacheMisses.Value())
+	}
+
+	// The bypassed compile stored nothing, so the identical follow-up
+	// is a genuine miss, and only the third request hits.
+	second := waitTerminal(t, ts.URL, submitOK(t, ts.URL).ID, 60*time.Second)
+	third := waitTerminal(t, ts.URL, submitOK(t, ts.URL).ID, 60*time.Second)
+	if second.State != StateDone || third.State != StateDone {
+		t.Fatalf("follow-up jobs: %+v / %+v", second, third)
+	}
+	if m.CacheMisses.Value() != 1 || m.CacheHits.Value() != 1 {
+		t.Fatalf("after bypass+miss+hit: hits=%d misses=%d, want 1/1",
+			m.CacheHits.Value(), m.CacheMisses.Value())
+	}
+	shutdownClean(t, svc)
+}
+
+// TestChaosCacheStoreErrorSkipsStore injects an error into the first
+// cache store: the computed result still serves its own batch (the job
+// succeeds) but is not retained, so the next identical batch misses
+// again and only the one after that hits.
+func TestChaosCacheStoreErrorSkipsStore(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.Faults = faultinject.New(1).FailVisits(faultinject.SiteCacheStore, 1, 1)
+	svc := newChaosService(t, cfg)
+	svc.Start()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		if rec := waitTerminal(t, ts.URL, submitOK(t, ts.URL).ID, 60*time.Second); rec.State != StateDone {
+			t.Fatalf("job %d should succeed despite the store fault, got %+v", i, rec)
+		}
+	}
+	m := svc.Metrics()
+	if m.CacheMisses.Value() != 2 || m.CacheHits.Value() != 1 {
+		t.Fatalf("store fault should cost one extra miss: hits=%d misses=%d, want 1/2",
+			m.CacheHits.Value(), m.CacheMisses.Value())
+	}
+	shutdownClean(t, svc)
+}
+
+// TestChaosCacheStorePanicContained injects a panic into the first
+// cache store: the worker recovers (the batch fails with the message,
+// no waiter can hang on the in-flight entry) and the key stays
+// retryable — the next identical batch compiles fresh and succeeds.
+func TestChaosCacheStorePanicContained(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.Faults = faultinject.New(1).PanicVisits(faultinject.SiteCacheStore, 1, 1)
+	svc := newChaosService(t, cfg)
+	svc.Start()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	victim := waitTerminal(t, ts.URL, submitOK(t, ts.URL).ID, 60*time.Second)
+	if victim.State != StateFailed || !strings.Contains(victim.Error, "compiler panic") {
+		t.Fatalf("store panic should fail only its batch, got %+v", victim)
+	}
+	survivor := waitTerminal(t, ts.URL, submitOK(t, ts.URL).ID, 60*time.Second)
+	if survivor.State != StateDone {
+		t.Fatalf("worker did not survive the store panic: %+v", survivor)
+	}
+	if got := svc.Metrics().CacheHits.Value(); got != 0 {
+		t.Fatalf("panicked store must not populate the cache: hits=%d", got)
+	}
+	shutdownClean(t, svc)
+}
+
+// TestChaosNaNLatencyObservation is the metrics-poisoning regression
+// test: every latency reading is replaced with NaN via the observation
+// hook, a job runs to completion, and /metrics must still serve valid
+// JSON with every histogram field finite — the poisoned samples land in
+// the dropped counters instead of sum/mean/min/max.
+func TestChaosNaNLatencyObservation(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.Faults = faultinject.New(1).ObserveVisits(faultinject.SiteLatency, 1, 0, math.NaN())
+	svc := newChaosService(t, cfg)
+	svc.Start()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	if rec := waitTerminal(t, ts.URL, submitOK(t, ts.URL).ID, 60*time.Second); rec.State != StateDone {
+		t.Fatalf("job should succeed, got %+v", rec)
+	}
+
+	// encoding/json refuses non-finite floats, so a poisoned histogram
+	// would turn this decode into an HTTP-layer failure.
+	var snap MetricsSnapshot
+	if code := getJSON(t, ts.URL+"/metrics", &snap); code != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", code)
+	}
+	hists := map[string]HistogramSnapshot{
+		"queue":   snap.LatencySeconds.Queue,
+		"compile": snap.LatencySeconds.Compile,
+		"execute": snap.LatencySeconds.Execute,
+		"total":   snap.LatencySeconds.Total,
+		"lookup":  snap.Cache.LookupSeconds,
+	}
+	dropped := int64(0)
+	for name, h := range hists {
+		for field, v := range map[string]float64{
+			"sum": h.Sum, "mean": h.Mean, "min": h.Min, "max": h.Max,
+			"p50": h.P50, "p90": h.P90, "p99": h.P99,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s.%s is non-finite: %v", name, field, v)
+			}
+		}
+		if h.Count != 0 {
+			t.Errorf("%s recorded %d NaN samples as observations", name, h.Count)
+		}
+		dropped += h.Dropped
+	}
+	if dropped == 0 {
+		t.Fatal("no histogram reported dropped samples; the NaN hook did not engage")
 	}
 	shutdownClean(t, svc)
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"expvar"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -36,13 +37,14 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // bounds are upper-inclusive bucket edges; observations above the last
 // bound land in an implicit overflow bucket.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // immutable after NewHistogram; read under mu with counts
-	counts []int64   // guarded by mu
-	sum    float64   // guarded by mu
-	count  int64     // guarded by mu
-	min    float64   // guarded by mu
-	max    float64   // guarded by mu
+	mu      sync.Mutex
+	bounds  []float64 // immutable after NewHistogram; read under mu with counts
+	counts  []int64   // guarded by mu
+	sum     float64   // guarded by mu
+	count   int64     // guarded by mu
+	min     float64   // guarded by mu
+	max     float64   // guarded by mu
+	dropped int64     // guarded by mu; non-finite samples rejected by Observe
 }
 
 // NewHistogram returns a histogram over the given ascending bounds.
@@ -52,10 +54,18 @@ func NewHistogram(bounds []float64) *Histogram {
 	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
 }
 
-// Observe records one sample.
+// Observe records one sample. Non-finite samples (NaN, ±Inf) are
+// dropped into a counter instead of being accumulated: one poisoned
+// observation would otherwise corrupt sum/mean/min/max permanently and
+// make the JSON /metrics encoding fail outright (encoding/json rejects
+// non-finite floats).
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.dropped++
+		return
+	}
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i]++
 	h.sum += v
@@ -68,24 +78,31 @@ func (h *Histogram) Observe(v float64) {
 	h.count++
 }
 
-// HistogramSnapshot is a point-in-time summary of a Histogram.
+// HistogramSnapshot is a point-in-time summary of a Histogram. Dropped
+// counts the non-finite samples Observe rejected (0 when healthy, so
+// the field is omitted from JSON unless something fed the histogram
+// NaN/Inf).
 type HistogramSnapshot struct {
-	Count int64   `json:"count"`
-	Sum   float64 `json:"sum"`
-	Mean  float64 `json:"mean"`
-	Min   float64 `json:"min"`
-	Max   float64 `json:"max"`
-	P50   float64 `json:"p50"`
-	P90   float64 `json:"p90"`
-	P99   float64 `json:"p99"`
+	Count   int64   `json:"count"`
+	Sum     float64 `json:"sum"`
+	Mean    float64 `json:"mean"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	P50     float64 `json:"p50"`
+	P90     float64 `json:"p90"`
+	P99     float64 `json:"p99"`
+	Dropped int64   `json:"dropped,omitempty"`
 }
 
 // Snapshot summarizes the histogram. Quantiles are estimated from the
 // bucket midpoints (the overflow bucket reports the observed max).
+// Every float field is guaranteed finite: Observe drops non-finite
+// samples, and sanitizeLocked backstops accumulator overflow, so a
+// snapshot can always be JSON-encoded.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max, Dropped: h.dropped}
 	if h.count == 0 {
 		return s
 	}
@@ -93,9 +110,26 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s.P50 = h.quantileLocked(0.50)
 	s.P90 = h.quantileLocked(0.90)
 	s.P99 = h.quantileLocked(0.99)
+	s.sanitize()
 	return s
 }
 
+// sanitize zeroes any non-finite summary field. Observe keeps poison
+// out, but sum can still overflow to +Inf from finite inputs; /metrics
+// must stay encodable regardless.
+func (s *HistogramSnapshot) sanitize() {
+	for _, f := range []*float64{&s.Sum, &s.Mean, &s.Min, &s.Max, &s.P50, &s.P90, &s.P99} {
+		if math.IsNaN(*f) || math.IsInf(*f, 0) {
+			*f = 0
+		}
+	}
+}
+
+// quantileLocked estimates the q-quantile from the bucket counts. The
+// returned midpoint is clamped into [h.min, h.max]: without the clamp a
+// single observation reported the raw bucket midpoint (p50 of one
+// sample must equal that sample), and a bucket whose lower edge sits
+// below h.min leaked the stale edge into the estimate.
 func (h *Histogram) quantileLocked(q float64) float64 {
 	target := int64(q * float64(h.count))
 	if target >= h.count {
@@ -113,6 +147,12 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 				lo = h.bounds[i-1]
 			}
 			hi := h.bounds[i]
+			if lo < h.min {
+				lo = h.min
+			}
+			if hi > h.max {
+				hi = h.max
+			}
 			if lo > hi {
 				lo = hi
 			}
@@ -159,18 +199,30 @@ type Registry struct {
 	BreakerTrips    Counter
 	OpenBreakers    Gauge
 
+	// Compile-cache counters: fingerprint hits and misses, entries
+	// evicted by the LRU bound, and requests coalesced onto an
+	// in-flight identical compile (singleflight dedup).
+	CacheHits      Counter
+	CacheMisses    Counter
+	CacheEvictions Counter
+	CacheCoalesced Counter
+
 	BatchSize      *Histogram
 	QueueLatency   *Histogram // seconds from submit to batch claim
 	CompileLatency *Histogram // seconds compiling a batch
 	ExecLatency    *Histogram // seconds simulating ("executing") a batch
 	TotalLatency   *Histogram // seconds from submit to terminal state
 	PST            *Histogram // achieved per-job PST
+	CacheLookup    *Histogram // seconds per served cache hit/coalesce
 }
 
 // NewRegistry returns a registry with the service's bucket layout.
 func NewRegistry() *Registry {
 	latency := []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 300}
 	pst := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1}
+	// Cache lookups are microseconds, not seconds: their buckets sit
+	// three orders of magnitude below the batch-latency layout.
+	lookup := []float64{1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 1e-2, 0.1}
 	return &Registry{
 		start:          time.Now(),
 		BatchSize:      NewHistogram([]float64{1, 2, 3, 4, 6, 8}),
@@ -179,6 +231,7 @@ func NewRegistry() *Registry {
 		ExecLatency:    NewHistogram(latency),
 		TotalLatency:   NewHistogram(latency),
 		PST:            NewHistogram(pst),
+		CacheLookup:    NewHistogram(lookup),
 	}
 }
 
@@ -213,6 +266,14 @@ type MetricsSnapshot struct {
 		BreakerTrips    int64 `json:"breaker_trips"`
 		OpenBreakers    int64 `json:"open_breakers"`
 	} `json:"robustness"`
+	Cache struct {
+		Hits          int64             `json:"hits"`
+		Misses        int64             `json:"misses"`
+		Evictions     int64             `json:"evictions"`
+		Coalesced     int64             `json:"coalesced"`
+		HitRate       float64           `json:"hit_rate"`
+		LookupSeconds HistogramSnapshot `json:"lookup_seconds"`
+	} `json:"cache"`
 	LatencySeconds struct {
 		Queue   HistogramSnapshot `json:"queue"`
 		Compile HistogramSnapshot `json:"compile"`
@@ -253,6 +314,14 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 	s.Robustness.FallbackBatches = r.FallbackBatches.Value()
 	s.Robustness.BreakerTrips = r.BreakerTrips.Value()
 	s.Robustness.OpenBreakers = r.OpenBreakers.Value()
+	s.Cache.Hits = r.CacheHits.Value()
+	s.Cache.Misses = r.CacheMisses.Value()
+	s.Cache.Evictions = r.CacheEvictions.Value()
+	s.Cache.Coalesced = r.CacheCoalesced.Value()
+	if total := s.Cache.Hits + s.Cache.Misses + s.Cache.Coalesced; total > 0 {
+		s.Cache.HitRate = float64(s.Cache.Hits+s.Cache.Coalesced) / float64(total)
+	}
+	s.Cache.LookupSeconds = r.CacheLookup.Snapshot()
 	s.LatencySeconds.Queue = r.QueueLatency.Snapshot()
 	s.LatencySeconds.Compile = r.CompileLatency.Snapshot()
 	s.LatencySeconds.Execute = r.ExecLatency.Snapshot()

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"math"
 	"sync"
 	"testing"
 )
@@ -59,6 +60,104 @@ func TestHistogramSnapshot(t *testing.T) {
 	// The 99th percentile is the overflow observation.
 	if s.P99 != 20 {
 		t.Fatalf("p99: got %v want 20", s.P99)
+	}
+}
+
+// TestHistogramDropsNonFinite is the regression test for the
+// metrics-poisoning bug: a single NaN or ±Inf observation used to
+// corrupt sum/mean (and min/max) forever — and break the JSON /metrics
+// encoding, which rejects non-finite floats. Such samples must now land
+// in the dropped counter without touching any accumulator.
+func TestHistogramDropsNonFinite(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	h.Observe(1.5)
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		h.Observe(v)
+	}
+	h.Observe(0.5)
+
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count includes dropped samples: %+v", s)
+	}
+	if s.Dropped != 3 {
+		t.Fatalf("dropped: got %d, want 3", s.Dropped)
+	}
+	if s.Sum != 2 || s.Min != 0.5 || s.Max != 1.5 {
+		t.Fatalf("accumulators poisoned: %+v", s)
+	}
+	for name, v := range map[string]float64{
+		"sum": s.Sum, "mean": s.Mean, "min": s.Min, "max": s.Max,
+		"p50": s.P50, "p90": s.P90, "p99": s.P99,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s is non-finite: %v", name, v)
+		}
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("snapshot not JSON-encodable: %v", err)
+	}
+}
+
+// TestHistogramSingleSampleQuantiles: p50 (and every quantile) of one
+// observation must equal that observation, not the raw midpoint of
+// whatever bucket it landed in.
+func TestHistogramSingleSampleQuantiles(t *testing.T) {
+	for _, v := range []float64{0.3, 4, 7.5, 100} { // interior, edge-adjacent, overflow
+		h := NewHistogram([]float64{1, 2, 5, 10})
+		h.Observe(v)
+		s := h.Snapshot()
+		if s.P50 != v || s.P90 != v || s.P99 != v {
+			t.Fatalf("single sample %v: quantiles %v/%v/%v, want all == %v", v, s.P50, s.P90, s.P99, v)
+		}
+	}
+}
+
+// TestHistogramQuantileClampedToObservedRange: bucket edges outside the
+// observed [min, max] must not leak into the estimate.
+func TestHistogramQuantileClampedToObservedRange(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	// Both samples land in the (1,10] bucket; its raw midpoint 5.5 is
+	// outside the observed range [4, 4.5].
+	h.Observe(4)
+	h.Observe(4.5)
+	s := h.Snapshot()
+	if s.P50 < s.Min || s.P50 > s.Max {
+		t.Fatalf("p50 %v escaped the observed range [%v, %v]", s.P50, s.Min, s.Max)
+	}
+}
+
+// TestHistogramDuplicateBounds: duplicate bucket edges create
+// permanently empty zero-width buckets; quantile estimation must skip
+// them and still report values inside the observed range.
+func TestHistogramDuplicateBounds(t *testing.T) {
+	h := NewHistogram([]float64{1, 1, 2, 2, 5})
+	for _, v := range []float64{0.5, 1.5, 3} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count: %+v", s)
+	}
+	for _, q := range []float64{s.P50, s.P90, s.P99} {
+		if q < s.Min || q > s.Max {
+			t.Fatalf("quantile %v outside [%v, %v]", q, s.Min, s.Max)
+		}
+	}
+	if s.P50 < 1 || s.P50 > 2 {
+		t.Fatalf("median observation 1.5 should estimate inside (1,2], got %v", s.P50)
+	}
+}
+
+// TestHistogramEmptyBuckets: a distribution with large gaps (most
+// buckets empty) must still produce in-range quantiles.
+func TestHistogramEmptyBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5, 10, 50, 100})
+	h.Observe(0.1)
+	h.Observe(99)
+	s := h.Snapshot()
+	if s.P50 < s.Min || s.P50 > s.Max || s.P99 < s.Min || s.P99 > s.Max {
+		t.Fatalf("quantiles escaped observed range: %+v", s)
 	}
 }
 

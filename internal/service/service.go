@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/arch"
+	"repro/internal/ccache"
 	"repro/internal/circuit"
 	"repro/internal/cloudsim"
 	"repro/internal/core"
@@ -121,6 +122,14 @@ type Config struct {
 	// not leak. 0 selects the default (~4096); negative disables
 	// eviction.
 	MaxJobHistory int
+	// CacheSize bounds the compile-result cache shared by all backend
+	// workers: compiled batches are keyed by a content fingerprint of
+	// (circuit structure, device + calibration version, strategy,
+	// compiler knobs), so resubmitting an identical workload skips the
+	// compile entirely and concurrent identical jobs coalesce onto one
+	// compilation. 0 selects the default (1024 entries); negative
+	// disables caching.
+	CacheSize int
 	// Faults is the test-only fault-injection hook set; nil (the
 	// production value) injects nothing.
 	Faults *faultinject.Injector
@@ -149,6 +158,7 @@ func DefaultConfig() Config {
 		BreakerThreshold: 5,
 		BreakerCooldown:  5 * time.Second,
 		MaxJobHistory:    4096,
+		CacheSize:        1024,
 	}
 }
 
@@ -201,6 +211,15 @@ type BreakerStatus struct {
 	Opens               int64  `json:"opens"`
 }
 
+// CacheCounters surfaces one worker's compile-cache traffic for
+// GET /v1/backends (the registry aggregates the same events service-wide
+// on /metrics).
+type CacheCounters struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+}
+
 // BackendStatus describes one worker for GET /v1/backends.
 type BackendStatus struct {
 	Name            string                 `json:"name"`
@@ -210,6 +229,7 @@ type BackendStatus struct {
 	Busy            bool                   `json:"busy"`
 	JobsCompleted   int64                  `json:"jobs_completed"`
 	BatchesExecuted int64                  `json:"batches_executed"`
+	Cache           CacheCounters          `json:"cache"`
 	Breaker         BreakerStatus          `json:"breaker"`
 	SchedulerErrors int64                  `json:"scheduler_errors,omitempty"`
 	LastSchedError  string                 `json:"last_scheduler_error,omitempty"`
@@ -224,6 +244,10 @@ type Service struct {
 	metrics   *Registry
 	workers   []*worker
 	maxQubits int
+	// cache is the compile-result cache shared by every worker (keys
+	// embed the device name and calibration version, so backends never
+	// collide); nil when Config.CacheSize disables caching.
+	cache *ccache.Cache
 
 	// stopCh closes when Shutdown begins, waking workers out of
 	// breaker-cooldown and retry-backoff sleeps.
@@ -311,6 +335,11 @@ func New(devices []*arch.Device, cfg Config) (*Service, error) {
 	} else if cfg.MaxJobHistory < 0 {
 		cfg.MaxJobHistory = 0
 	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = def.CacheSize
+	} else if cfg.CacheSize < 0 {
+		cfg.CacheSize = 0
+	}
 	seen := map[string]bool{}
 	s := &Service{
 		cfg:       cfg,
@@ -321,6 +350,21 @@ func New(devices []*arch.Device, cfg Config) (*Service, error) {
 		accepting: true,
 	}
 	s.cond = sync.NewCond(&s.mu)
+	// The cache's hooks bind the chaos sites (lookup outage → bypass,
+	// store outage → serve-but-skip-store) and the eviction counter.
+	// faultinject.Visit is nil-injector-safe, so production configs pay
+	// only a nil check.
+	s.cache = ccache.New(cfg.CacheSize)
+	if s.cache != nil {
+		faults := cfg.Faults
+		s.cache.OnEvict = s.metrics.CacheEvictions.Inc
+		s.cache.LookupHook = func(ctx context.Context) error {
+			return faults.Visit(ctx, faultinject.SiteCacheLookup)
+		}
+		s.cache.StoreHook = func(ctx context.Context) error {
+			return faults.Visit(ctx, faultinject.SiteCacheStore)
+		}
+	}
 	for i, d := range devices {
 		if seen[d.Name] {
 			return nil, fmt.Errorf("service: duplicate backend name %q", d.Name)
@@ -351,6 +395,14 @@ func (s *Service) Start() {
 
 // Metrics exposes the service's metric registry.
 func (s *Service) Metrics() *Registry { return s.metrics }
+
+// observeLatency funnels a measured duration (in seconds) through the
+// fault-injection observation hook before recording it, so chaos tests
+// can substitute NaN/Inf readings; Histogram.Observe drops whatever
+// non-finite value comes back instead of letting it poison /metrics.
+func (s *Service) observeLatency(h *Histogram, seconds float64) {
+	h.Observe(s.cfg.Faults.Observe(faultinject.SiteLatency, seconds))
+}
 
 // Uptime is the time since the service was constructed.
 func (s *Service) Uptime() time.Duration { return time.Since(s.start) }
@@ -482,7 +534,7 @@ func (s *Service) failRemaining(msg string) {
 		j.rec.Error = msg
 		s.markTerminalLocked(j)
 		s.metrics.JobsFailed.Inc()
-		s.metrics.TotalLatency.Observe(time.Since(j.rec.SubmittedAt).Seconds())
+		s.observeLatency(s.metrics.TotalLatency, time.Since(j.rec.SubmittedAt).Seconds())
 	}
 	s.queue = nil
 	s.metrics.QueueDepth.Set(0)

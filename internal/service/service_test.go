@@ -396,3 +396,101 @@ func TestAdaptivePolicyAdjustsEpsilon(t *testing.T) {
 		t.Fatalf("co-located batches executed but no backend adapted epsilon")
 	}
 }
+
+// TestCacheServesRepeatSubmissions drives the cloud-queue replay
+// pattern the cache exists for: the same benchmark circuit submitted
+// twice compiles once — the registry, the /v1/backends counters, and
+// the /metrics cache section must all agree on one miss and one hit.
+func TestCacheServesRepeatSubmissions(t *testing.T) {
+	svc, err := New([]*arch.Device{arch.London()}, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		resp, body := submit(t, ts.URL, "bv", benchQASM(t, "bv_n3"))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d: %s", i, resp.StatusCode, body)
+		}
+		var rec JobRecord
+		if err := json.Unmarshal(body, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if got := waitTerminal(t, ts.URL, rec.ID, 60*time.Second); got.State != StateDone {
+			t.Fatalf("job %d: %+v", i, got)
+		}
+	}
+
+	m := svc.Metrics()
+	if m.CacheMisses.Value() != 1 || m.CacheHits.Value() != 1 {
+		t.Fatalf("registry: hits=%d misses=%d, want 1/1", m.CacheHits.Value(), m.CacheMisses.Value())
+	}
+	if got := m.CacheLookup.Snapshot().Count; got != 1 {
+		t.Fatalf("CacheLookup observations = %d, want 1 (hits only)", got)
+	}
+
+	var backends []BackendStatus
+	if code := getJSON(t, ts.URL+"/v1/backends", &backends); code != http.StatusOK {
+		t.Fatalf("backends: HTTP %d", code)
+	}
+	if c := backends[0].Cache; c.Hits != 1 || c.Misses != 1 || c.Coalesced != 0 {
+		t.Fatalf("backend cache counters: %+v, want hits=1 misses=1", c)
+	}
+
+	var snap MetricsSnapshot
+	if code := getJSON(t, ts.URL+"/metrics", &snap); code != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", code)
+	}
+	if snap.Cache.Hits != 1 || snap.Cache.Misses != 1 || snap.Cache.HitRate != 0.5 {
+		t.Fatalf("/metrics cache section: %+v", snap.Cache)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheDisabled: a negative CacheSize turns caching off entirely —
+// every compile is a bypass and no counter ever moves.
+func TestCacheDisabled(t *testing.T) {
+	cfg := testConfig()
+	cfg.CacheSize = -1
+	svc, err := New([]*arch.Device{arch.London()}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.cache != nil {
+		t.Fatal("negative CacheSize should leave the cache nil")
+	}
+	svc.Start()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		resp, body := submit(t, ts.URL, "bv", benchQASM(t, "bv_n3"))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d: %s", i, resp.StatusCode, body)
+		}
+		var rec JobRecord
+		if err := json.Unmarshal(body, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if got := waitTerminal(t, ts.URL, rec.ID, 60*time.Second); got.State != StateDone {
+			t.Fatalf("job %d: %+v", i, got)
+		}
+	}
+	m := svc.Metrics()
+	if m.CacheHits.Value() != 0 || m.CacheMisses.Value() != 0 || m.CacheCoalesced.Value() != 0 {
+		t.Fatalf("disabled cache moved counters: hits=%d misses=%d coalesced=%d",
+			m.CacheHits.Value(), m.CacheMisses.Value(), m.CacheCoalesced.Value())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

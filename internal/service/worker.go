@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/arch"
+	"repro/internal/ccache"
 	"repro/internal/circuit"
 	"repro/internal/cloudsim"
 	"repro/internal/core"
@@ -55,14 +56,17 @@ type worker struct {
 	ctrl  *quos.Controller // nil under PolicyStatic
 	seed  int64            // per-worker deterministic seed counter
 
-	eps          float64                // guarded by svc.mu
-	busy         bool                   // guarded by svc.mu
-	jobsDone     int64                  // guarded by svc.mu
-	batchesDone  int64                  // guarded by svc.mu
-	trace        []cloudsim.BatchRecord // guarded by svc.mu
-	schedErrs    int64                  // guarded by svc.mu
-	lastSchedErr string                 // guarded by svc.mu
-	brk          breaker                // guarded by svc.mu
+	eps            float64                // guarded by svc.mu
+	busy           bool                   // guarded by svc.mu
+	jobsDone       int64                  // guarded by svc.mu
+	batchesDone    int64                  // guarded by svc.mu
+	cacheHits      int64                  // guarded by svc.mu
+	cacheMisses    int64                  // guarded by svc.mu
+	cacheCoalesced int64                  // guarded by svc.mu
+	trace          []cloudsim.BatchRecord // guarded by svc.mu
+	schedErrs      int64                  // guarded by svc.mu
+	lastSchedErr   string                 // guarded by svc.mu
+	brk            breaker                // guarded by svc.mu
 }
 
 // newWorker wires a worker for the device.
@@ -253,7 +257,7 @@ func (w *worker) claim() []*job {
 		j.rec.CoJobs = seqs
 		j.rec.WaitSeconds = now.Sub(j.rec.SubmittedAt).Seconds()
 		j.claimed = now
-		s.metrics.QueueLatency.Observe(j.rec.WaitSeconds)
+		s.observeLatency(s.metrics.QueueLatency, j.rec.WaitSeconds)
 	}
 	w.busy = true
 	s.metrics.QueueDepth.Set(int64(len(s.queue)))
@@ -292,7 +296,7 @@ func (w *worker) failHead(msg string) {
 		j.rec.Backend = w.dev.Name
 		s.markTerminalLocked(j)
 		s.metrics.JobsFailed.Inc()
-		s.metrics.TotalLatency.Observe(time.Since(j.rec.SubmittedAt).Seconds())
+		s.observeLatency(s.metrics.TotalLatency, time.Since(j.rec.SubmittedAt).Seconds())
 		s.metrics.QueueDepth.Set(int64(len(s.queue)))
 		return
 	}
@@ -388,7 +392,7 @@ func (w *worker) attempt(curp *[]*job) error {
 	m := s.metrics
 	strat := strategyFor(len(batch))
 	res, err := w.compile(ctx, progs, strat)
-	m.CompileLatency.Observe(time.Since(start).Seconds())
+	s.observeLatency(m.CompileLatency, time.Since(start).Seconds())
 	if err != nil && len(batch) > 1 && ctx.Err() == nil {
 		// Co-location failed after all: put the tail back and run the
 		// head alone, as the offline cloudsim does. The fallback
@@ -401,7 +405,7 @@ func (w *worker) attempt(curp *[]*job) error {
 		strat = core.Separate
 		retryStart := time.Now()
 		res, err = w.compile(ctx, progs, strat)
-		m.CompileLatency.Observe(time.Since(retryStart).Seconds())
+		s.observeLatency(m.CompileLatency, time.Since(retryStart).Seconds())
 	}
 	if err != nil {
 		return fmt.Errorf("compile: %w", err)
@@ -476,11 +480,11 @@ func (w *worker) attempt(curp *[]*job) error {
 		m.ColocatedBatches.Inc()
 		m.ColocatedJobs.Add(int64(len(batch)))
 	}
-	m.ExecLatency.Observe(executed.Sub(simStart).Seconds())
+	s.observeLatency(m.ExecLatency, executed.Sub(simStart).Seconds())
 	m.InFlight.Add(-int64(len(batch)))
 	for i, j := range batch {
 		m.JobsCompleted.Inc()
-		m.TotalLatency.Observe(executed.Sub(j.rec.SubmittedAt).Seconds())
+		s.observeLatency(m.TotalLatency, executed.Sub(j.rec.SubmittedAt).Seconds())
 		m.PST.Observe(psts[i])
 	}
 	return nil
@@ -488,7 +492,12 @@ func (w *worker) attempt(curp *[]*job) error {
 
 // compile runs one batch compilation with fault injection and panic
 // containment: a compiler panic fails the batch with the recovered
-// message instead of unwinding the worker.
+// message instead of unwinding the worker. The compile goes through
+// the service-wide result cache (nil when disabled): a fingerprint hit
+// skips the pipeline, and identical batches compiling concurrently on
+// other workers coalesce onto one compilation. Panics from the cache's
+// own hooks surface here too, so a faulted cache can never unwind the
+// worker loop.
 func (w *worker) compile(ctx context.Context, progs []*circuit.Circuit, strat core.Strategy) (res *core.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -499,7 +508,41 @@ func (w *worker) compile(ctx context.Context, progs []*circuit.Circuit, strat co
 	if err := w.svc.cfg.Faults.Visit(ctx, faultinject.SiteCompile); err != nil {
 		return nil, err
 	}
-	return w.comp.CompileContext(ctx, progs, strat)
+	start := time.Now()
+	res, outcome, err := w.comp.CompileCachedContext(ctx, w.svc.cache, progs, strat)
+	w.recordCacheOutcome(outcome, time.Since(start).Seconds())
+	return res, err
+}
+
+// recordCacheOutcome feeds one cached-compile outcome into the shared
+// registry and the per-worker counters shown in /v1/backends. Lookup
+// latency is recorded only when the cache actually served the result
+// (hit or coalesced) — a miss's duration is the compile itself, which
+// CompileLatency already measures.
+func (w *worker) recordCacheOutcome(outcome ccache.Outcome, seconds float64) {
+	m := w.svc.metrics
+	switch outcome {
+	case ccache.OutcomeHit:
+		m.CacheHits.Inc()
+		w.svc.observeLatency(m.CacheLookup, seconds)
+	case ccache.OutcomeMiss:
+		m.CacheMisses.Inc()
+	case ccache.OutcomeCoalesced:
+		m.CacheCoalesced.Inc()
+		w.svc.observeLatency(m.CacheLookup, seconds)
+	default:
+		return // bypass: caching disabled or faulted out of this call
+	}
+	w.svc.mu.Lock()
+	defer w.svc.mu.Unlock()
+	switch outcome {
+	case ccache.OutcomeHit:
+		w.cacheHits++
+	case ccache.OutcomeMiss:
+		w.cacheMisses++
+	case ccache.OutcomeCoalesced:
+		w.cacheCoalesced++
+	}
 }
 
 // simulate runs the compiled batch with fault injection and panic
@@ -555,7 +598,7 @@ func (w *worker) fail(batch []*job, err error) {
 	s.metrics.InFlight.Add(-int64(len(batch)))
 	for _, j := range batch {
 		s.metrics.JobsFailed.Inc()
-		s.metrics.TotalLatency.Observe(now.Sub(j.rec.SubmittedAt).Seconds())
+		s.observeLatency(s.metrics.TotalLatency, now.Sub(j.rec.SubmittedAt).Seconds())
 	}
 }
 
@@ -644,6 +687,11 @@ func (w *worker) statusLocked() BackendStatus {
 		Busy:            w.busy,
 		JobsCompleted:   w.jobsDone,
 		BatchesExecuted: w.batchesDone,
+		Cache: CacheCounters{
+			Hits:      w.cacheHits,
+			Misses:    w.cacheMisses,
+			Coalesced: w.cacheCoalesced,
+		},
 		Breaker: BreakerStatus{
 			State:               w.brk.state,
 			ConsecutiveFailures: w.brk.fails,
