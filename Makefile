@@ -23,7 +23,7 @@ lint:
 # simulation/compile engines plus their worker pool).
 test: vet lint
 	$(GO) test ./...
-	$(GO) test -race ./internal/service/... ./internal/sched/... ./internal/cloudsim/... ./cmd/qucloudd/... ./internal/sim/... ./internal/core/... ./internal/pool/... ./internal/ccache/...
+	$(GO) test -race ./internal/service/... ./internal/fleet/... ./internal/sched/... ./internal/cloudsim/... ./cmd/qucloudd/... ./internal/sim/... ./internal/core/... ./internal/pool/... ./internal/ccache/...
 	$(MAKE) chaos
 
 # Fault-injection chaos suite: drives the full qucloudd HTTP service
@@ -55,7 +55,9 @@ fuzz-smoke:
 # Machine-readable benchmark records: the sequential-vs-parallel
 # Simulate micro-benches and the Table 2 compile pipeline go to
 # BENCH_parallel.json; the cold-vs-warm compile-cache pair goes to
-# BENCH_cache.json with a derived warm_speedup ratio.
+# BENCH_cache.json with a derived warm_speedup ratio; the 1-vs-4-chip
+# fleet dispatch sweep (throughput and p99 wait per policy) goes to
+# BENCH_fleet.json with a derived scale-out ratio.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimulate(Clifford)?(Sequential|Parallel)$$' -benchtime 3x ./internal/sim \
 		| $(GO) run ./cmd/benchjson -o BENCH_parallel.json -label simulate
@@ -64,6 +66,9 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkCacheCompile(Cold|Warm)$$' -benchtime 20x . \
 		| $(GO) run ./cmd/benchjson -o BENCH_cache.json -label cache \
 			-ratio warm_speedup=CacheCompileCold/CacheCompileWarm
+	$(GO) test -run '^$$' -bench 'BenchmarkFleet(1|4)Chip' -benchtime 3x ./internal/service \
+		| $(GO) run ./cmd/benchjson -o BENCH_fleet.json -label fleet \
+			-ratio scaleout_speedup=Fleet1ChipBalanced/Fleet4ChipBalanced
 
 cover:
 	$(GO) test -cover ./...

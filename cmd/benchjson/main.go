@@ -30,6 +30,9 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. "jobs/s",
+	// "p99_wait_s") keyed by unit string.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Ratio is a derived metric: the ns/op of one benchmark divided by
@@ -122,6 +125,12 @@ func parseBenchLine(line string) (Benchmark, bool) {
 			b.BytesPerOp = v
 		case "allocs/op":
 			b.AllocsPerOp = v
+		default:
+			// Custom b.ReportMetric units pass through verbatim.
+			if b.Extra == nil {
+				b.Extra = map[string]float64{}
+			}
+			b.Extra[fields[i+1]] = v
 		}
 	}
 	return b, b.NsPerOp > 0

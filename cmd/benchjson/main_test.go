@@ -36,6 +36,25 @@ func TestParseBenchLine(t *testing.T) {
 	}
 }
 
+// TestParseBenchLineExtraMetrics: custom b.ReportMetric units land in
+// Extra keyed by unit, alongside the standard fields.
+func TestParseBenchLineExtraMetrics(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkFleet4ChipBalanced-8   2   51234567 ns/op   38.4 jobs/s   0.91 p99_wait_s")
+	if !ok {
+		t.Fatal("expected a parse")
+	}
+	if b.NsPerOp != 51234567 {
+		t.Fatalf("ns/op = %v", b.NsPerOp)
+	}
+	if len(b.Extra) != 2 || b.Extra["jobs/s"] != 38.4 || b.Extra["p99_wait_s"] != 0.91 {
+		t.Fatalf("extra metrics: %+v", b.Extra)
+	}
+	plain, ok := parseBenchLine("BenchmarkPlain-1 1 100 ns/op")
+	if !ok || plain.Extra != nil {
+		t.Fatalf("plain line should have no extras: %+v", plain.Extra)
+	}
+}
+
 func TestRunWriteAndAppend(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	if err := run(strings.NewReader(sampleBenchOutput), out, "simulate", false, nil); err != nil {

@@ -7,6 +7,11 @@
 //
 //	qucloudd -addr :8080 -backends ibmq16,tokyo -policy static -eps 0.15
 //
+// Every admitted job is routed across the registered chips by the
+// fleet dispatcher (-fleet-policy speed|fidelity|fairness|balanced);
+// a backends entry may be replicated with "name*N" (e.g. "london*4")
+// to register N identically-calibrated copies.
+//
 // Load generator — replay an internal/nisqbench workload against a
 // running daemon and report end-to-end throughput and latency:
 //
@@ -25,12 +30,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/arch"
 	"repro/internal/circuit"
+	"repro/internal/fleet"
 	"repro/internal/nisqbench"
 	"repro/internal/service"
 )
@@ -52,18 +59,36 @@ func main() {
 
 // parseBackends resolves a comma-separated device list (e.g.
 // "ibmq16,tokyo") into arch devices with the given calibration seed.
+// An entry may carry a "*N" replication suffix ("london*4" registers
+// london-1 … london-4 with per-copy calibration seeds) so a
+// homogeneous fleet doesn't need N spellings. Unknown chip names error
+// with the valid list.
 func parseBackends(spec string, seed int64) ([]*arch.Device, error) {
 	var out []*arch.Device
-	for _, name := range strings.Split(spec, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
 			continue
 		}
-		d, err := arch.ByName(name, seed)
-		if err != nil {
-			return nil, err
+		name, count := entry, 1
+		if base, n, ok := strings.Cut(entry, "*"); ok {
+			c, err := strconv.Atoi(strings.TrimSpace(n))
+			if err != nil || c < 1 {
+				return nil, fmt.Errorf("bad replication %q (want name*N with N >= 1)", entry)
+			}
+			name, count = strings.TrimSpace(base), c
 		}
-		out = append(out, d)
+		for i := 0; i < count; i++ {
+			d, err := arch.ByName(name, seed+int64(i))
+			if err != nil {
+				return nil, fmt.Errorf("unknown backend %q (valid: %s)",
+					name, strings.Join(arch.StandardDevices(), ", "))
+			}
+			if count > 1 {
+				d.Name = fmt.Sprintf("%s-%d", d.Name, i+1)
+			}
+			out = append(out, d)
+		}
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no backends in %q (try %s)", spec, strings.Join(arch.StandardDevices(), ","))
@@ -78,6 +103,8 @@ func runServe(args []string) error {
 		backends     = fs.String("backends", "ibmq16,tokyo", "comma-separated backend chips ("+strings.Join(arch.StandardDevices(), ",")+")")
 		calSeed      = fs.Int64("cal-seed", 0, "calibration seed for the backends")
 		policy       = fs.String("policy", "static", "epsilon policy: static or adaptive")
+		fleetPolicy  = fs.String("fleet-policy", "balanced", "fleet allocation policy: "+strings.Join(fleet.Names(), ", "))
+		execDwell    = fs.Duration("exec-dwell", 0, "emulated per-batch hardware occupancy (shot time); 0 disables")
 		eps          = fs.Float64("eps", 0.15, "(initial) EPST violation threshold")
 		queueSize    = fs.Int("queue", 256, "bounded queue capacity (429 when full)")
 		trials       = fs.Int("trials", 512, "Monte-Carlo trials per batch")
@@ -104,6 +131,8 @@ func runServe(args []string) error {
 	}
 	cfg := service.DefaultConfig()
 	cfg.Policy = service.Policy(*policy)
+	cfg.FleetPolicy = *fleetPolicy
+	cfg.ExecDwell = *execDwell
 	cfg.Epsilon = *eps
 	cfg.QueueSize = *queueSize
 	cfg.Trials = *trials
@@ -138,8 +167,8 @@ func runServe(args []string) error {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("serving %d backends on %s (policy=%s eps=%.3f queue=%d)",
-			len(devices), *addr, cfg.Policy, cfg.Epsilon, cfg.QueueSize)
+		log.Printf("serving %d backends on %s (policy=%s fleet=%s eps=%.3f queue=%d)",
+			len(devices), *addr, cfg.Policy, cfg.FleetPolicy, cfg.Epsilon, cfg.QueueSize)
 		if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			errCh <- err
 		}

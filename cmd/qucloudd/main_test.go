@@ -1,7 +1,11 @@
 package main
 
 import (
+	"fmt"
+	"strings"
 	"testing"
+
+	"repro/internal/arch"
 )
 
 func TestParseBackends(t *testing.T) {
@@ -20,6 +24,59 @@ func TestParseBackends(t *testing.T) {
 	}
 	if _, err := parseBackends(" , ", 0); err == nil {
 		t.Fatal("expected error for empty backend list")
+	}
+}
+
+// TestParseBackendsUnknownChipListsValidNames: the startup error must
+// tell the operator what chips exist, not fail bare.
+func TestParseBackendsUnknownChipListsValidNames(t *testing.T) {
+	_, err := parseBackends("nosuchchip", 0)
+	if err == nil {
+		t.Fatal("expected error for unknown chip")
+	}
+	msg := err.Error()
+	for _, name := range arch.StandardDevices() {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("error %q does not list valid chip %q", msg, name)
+		}
+	}
+}
+
+// TestParseBackendsReplication covers the name*N fan-out syntax.
+func TestParseBackendsReplication(t *testing.T) {
+	devs, err := parseBackends("london*3", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devs) != 3 {
+		t.Fatalf("london*3 produced %d devices", len(devs))
+	}
+	names := map[string]bool{}
+	for i, d := range devs {
+		want := fmt.Sprintf("london-%d", i+1)
+		if d.Name != want {
+			t.Fatalf("device %d named %q, want %q", i, d.Name, want)
+		}
+		if names[d.Name] {
+			t.Fatalf("duplicate replicated name %q", d.Name)
+		}
+		names[d.Name] = true
+		if d.NumQubits() != 5 {
+			t.Fatalf("replica %d has %d qubits", i, d.NumQubits())
+		}
+	}
+	// Mixed spec: replicas plus a singleton keep their plain name.
+	devs, err = parseBackends("london*2,tokyo", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devs) != 3 || devs[2].Name != "tokyo" {
+		t.Fatalf("mixed spec: %v", devs)
+	}
+	for _, bad := range []string{"london*0", "london*-1", "london*x", "london*"} {
+		if _, err := parseBackends(bad, 0); err == nil {
+			t.Fatalf("%q should be rejected", bad)
+		}
 	}
 }
 

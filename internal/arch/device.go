@@ -159,14 +159,27 @@ func (d *Device) Hops() [][]int {
 	return d.hops
 }
 
-// AvgCNOTErr returns the mean CNOT error over all links.
+// AvgCNOTErr returns the mean CNOT error over all links. The sum runs
+// in sorted edge order: float addition is not associative, so summing
+// in map-iteration order made the last ULP of the mean vary between
+// processes — enough to flip a score-tied dispatch decision.
 func (d *Device) AvgCNOTErr() float64 {
 	if len(d.CNOTErr) == 0 {
 		return 0
 	}
+	edges := make([]graph.Edge, 0, len(d.CNOTErr))
+	for e := range d.CNOTErr {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
 	sum := 0.0
-	for _, v := range d.CNOTErr {
-		sum += v
+	for _, e := range edges {
+		sum += d.CNOTErr[e]
 	}
 	return sum / float64(len(d.CNOTErr))
 }

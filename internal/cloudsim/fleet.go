@@ -7,7 +7,63 @@ import (
 	"repro/internal/arch"
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/fleet"
 )
+
+// fleetBackend is one device's simulation state: its compiler, the
+// time it next becomes free, and how many jobs it has finished.
+type fleetBackend struct {
+	dev      *arch.Device
+	comp     *core.Compiler
+	freeAt   float64
+	finished int
+}
+
+// selectBackend returns the backend that becomes free earliest.
+// Backends tied on freeAt are decided by the fleet policy scored
+// against the head job (sharing the live dispatcher's placement
+// logic), or, with no policy, by ascending device name — never by
+// slice order.
+func selectBackend(backends []*fleetBackend, head Job, policy fleet.Policy) *fleetBackend {
+	tied := []*fleetBackend{backends[0]}
+	for _, cand := range backends[1:] {
+		switch {
+		case cand.freeAt < tied[0].freeAt:
+			tied = append(tied[:0], cand)
+		case cand.freeAt > tied[0].freeAt:
+			// strictly later: not a contender
+		default:
+			tied = append(tied, cand) // exact freeAt tie
+		}
+	}
+	if len(tied) == 1 {
+		return tied[0]
+	}
+	if policy != nil {
+		cands := make([]fleet.Candidate, len(tied))
+		for i, t := range tied {
+			cands[i] = fleet.Candidate{
+				Chip: fleet.ChipOf(t.dev),
+				Load: fleet.Load{Dispatched: int64(t.finished)},
+			}
+		}
+		fj := fleet.Job{
+			Qubits: head.Circ.NumQubits,
+			CNOTs:  head.Circ.CNOTCount(),
+			Gate1s: head.Circ.Gate1Count(),
+		}
+		if idx := fleet.Pick(policy, cands, fj); idx >= 0 {
+			return tied[idx]
+		}
+	}
+	best := tied[0]
+	for _, t := range tied[1:] {
+		if t.dev.Name < best.dev.Name {
+			best = t
+		}
+	}
+	return best
+}
 
 // FleetMetrics aggregates a multi-backend simulation.
 type FleetMetrics struct {
@@ -42,17 +98,11 @@ func RunFleet(devices []*arch.Device, jobs []Job, cfg Config) (*FleetMetrics, ma
 	queue := append([]Job(nil), jobs...)
 	sort.SliceStable(queue, func(i, j int) bool { return queue[i].Arrival < queue[j].Arrival })
 
-	type backend struct {
-		dev      *arch.Device
-		comp     *core.Compiler
-		freeAt   float64
-		finished int
-	}
-	backends := make([]*backend, len(devices))
+	backends := make([]*fleetBackend, len(devices))
 	for i, d := range devices {
 		comp := core.NewCompiler(d)
 		comp.Attempts = 1
-		backends[i] = &backend{dev: d, comp: comp}
+		backends[i] = &fleetBackend{dev: d, comp: comp}
 	}
 
 	traces := map[string][]BatchRecord{}
@@ -64,13 +114,11 @@ func RunFleet(devices []*arch.Device, jobs []Job, cfg Config) (*FleetMetrics, ma
 	)
 	for len(queue) > 0 {
 		// The next backend to act is the one free earliest; it cannot
-		// start before the head job arrives.
-		b := backends[0]
-		for _, cand := range backends[1:] {
-			if cand.freeAt < b.freeAt {
-				b = cand
-			}
-		}
+		// start before the head job arrives. Ties on freeAt are broken
+		// deterministically — by the fleet allocation policy when one is
+		// configured, by ascending device name otherwise — never by
+		// slice order.
+		b := selectBackend(backends, queue[0], cfg.FleetPolicy)
 		now := b.freeAt
 		if queue[0].Arrival > now {
 			now = queue[0].Arrival

@@ -112,6 +112,7 @@ var deterministicPkgs = map[string]bool{
 	"internal/circuit":   true,
 	"internal/community": true,
 	"internal/core":      true,
+	"internal/fleet":     true,
 	"internal/graph":     true,
 	"internal/nisqbench": true,
 	"internal/partition": true,

@@ -1,0 +1,175 @@
+package service
+
+import (
+	"repro/internal/fleet"
+)
+
+// This file is the service side of the fleet dispatcher: every
+// admitted job is routed to a backend at submit time by
+// internal/fleet's policy scoring, workers claim only their own
+// assignments, and when a backend's circuit breaker opens its
+// still-queued jobs migrate back through the dispatcher onto healthy
+// chips. All routing runs under Service.mu, so dispatch decisions are
+// linearized with claims and requeues.
+
+// DispatchDecision is one routing decision in the recent-dispatch
+// trace served on /v1/fleet. Migrated decisions record the backend the
+// job was moved away from.
+type DispatchDecision struct {
+	Seq      int     `json:"seq"`
+	Qubits   int     `json:"qubits"`
+	Backend  string  `json:"backend"`
+	Score    float64 `json:"score"`
+	Migrated bool    `json:"migrated,omitempty"`
+	From     string  `json:"from,omitempty"`
+}
+
+// FleetDeviceStatus is one chip's row in the /v1/fleet view: its
+// calibration summary plus the live load the dispatcher scores.
+type FleetDeviceStatus struct {
+	fleet.Chip
+	fleet.Load
+	Migrated     int64  `json:"migrated"`
+	BreakerState string `json:"breaker_state"`
+}
+
+// FleetStatus is the GET /v1/fleet document: the active policy, the
+// fleet-wide counters, every chip's dispatch view, and the recent
+// decision trace (oldest first).
+type FleetStatus struct {
+	Policy          string              `json:"policy"`
+	Dispatches      int64               `json:"dispatches"`
+	JobsMigrated    int64               `json:"jobs_migrated"`
+	Devices         []FleetDeviceStatus `json:"devices"`
+	RecentDecisions []DispatchDecision  `json:"recent_decisions,omitempty"`
+}
+
+// candidatesLocked assembles the dispatcher's view of every backend:
+// static calibration summary plus live queue depth, busy flag,
+// smoothed service time, cumulative dispatches, and breaker state.
+// Only a fully open breaker counts as BreakerOpen — a half-open
+// backend must stay eligible or its probe batch would starve while any
+// healthy chip exists. Callers hold s.mu.
+func (s *Service) candidatesLocked() []fleet.Candidate {
+	depth := make([]int, len(s.workers))
+	for _, j := range s.queue {
+		depth[j.assigned]++
+	}
+	cands := make([]fleet.Candidate, len(s.workers))
+	for i, w := range s.workers {
+		cands[i] = fleet.Candidate{
+			Chip: s.chips[i],
+			Load: fleet.Load{
+				QueueDepth:         depth[i],
+				Busy:               w.busy,
+				EWMAServiceSeconds: w.ewma.Value(),
+				Dispatched:         w.dispatched,
+				BreakerOpen:        w.brk.state == breakerOpen,
+			},
+		}
+	}
+	return cands
+}
+
+// dispatchLocked routes one job. from is -1 for a fresh submission, or
+// the index of the worker the job is migrating away from (the pick
+// must then land elsewhere; staying put is reported as false and the
+// job keeps its assignment). It returns false when no backend can take
+// the job. Callers hold s.mu.
+func (s *Service) dispatchLocked(j *job, from int) bool {
+	cands := s.candidatesLocked()
+	idx := fleet.Pick(s.policy, cands, j.fj)
+	if idx < 0 || idx == from {
+		return false
+	}
+	j.assigned = idx
+	j.rec.Backend = s.workers[idx].dev.Name
+	s.workers[idx].dispatched++
+	s.metrics.Dispatches.Inc()
+	d := DispatchDecision{
+		Seq:     j.rec.Seq,
+		Qubits:  j.rec.Qubits,
+		Backend: s.workers[idx].dev.Name,
+		Score:   s.policy.Score(cands[idx], j.fj),
+	}
+	if from >= 0 {
+		d.Migrated = true
+		d.From = s.workers[from].dev.Name
+	}
+	s.decisions = append(s.decisions, d)
+	if len(s.decisions) > s.cfg.TraceDepth {
+		s.decisions = s.decisions[len(s.decisions)-s.cfg.TraceDepth:]
+	}
+	return true
+}
+
+// migrateLocked re-routes every job still queued for the given worker
+// (called when its breaker opens, with s.mu held). Jobs that cannot
+// move — no other chip fits them — stay assigned and wait for the
+// half-open probe. During drain nothing moves: breakerWait already
+// bypasses the cooldown then, and re-routing onto a worker that may
+// have exited would strand the job.
+func (s *Service) migrateLocked(from *worker) {
+	if s.draining {
+		return
+	}
+	moved := 0
+	for _, j := range s.queue {
+		if j.assigned != from.index || j.rec.State != StateQueued {
+			continue
+		}
+		if s.dispatchLocked(j, from.index) {
+			s.metrics.JobsMigrated.Inc()
+			from.migrated++
+			moved++
+		}
+	}
+	if moved > 0 {
+		s.cond.Broadcast()
+	}
+}
+
+// Fleet reports the dispatcher's live view for GET /v1/fleet.
+func (s *Service) Fleet() FleetStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := FleetStatus{
+		Policy:          s.policy.Name(),
+		Dispatches:      s.metrics.Dispatches.Value(),
+		JobsMigrated:    s.metrics.JobsMigrated.Value(),
+		RecentDecisions: append([]DispatchDecision(nil), s.decisions...),
+	}
+	cands := s.candidatesLocked()
+	st.Devices = make([]FleetDeviceStatus, len(cands))
+	for i, c := range cands {
+		st.Devices[i] = FleetDeviceStatus{
+			Chip:         c.Chip,
+			Load:         c.Load,
+			Migrated:     s.workers[i].migrated,
+			BreakerState: s.workers[i].brk.state,
+		}
+	}
+	return st
+}
+
+// fleetMetrics is the Registry's fleet section source (wired in New,
+// before any worker starts).
+func (s *Service) fleetMetrics() FleetSection {
+	st := s.Fleet()
+	sec := FleetSection{
+		Policy:       st.Policy,
+		Dispatches:   st.Dispatches,
+		JobsMigrated: st.JobsMigrated,
+	}
+	sec.Devices = make([]FleetDeviceMetrics, len(st.Devices))
+	for i, d := range st.Devices {
+		sec.Devices[i] = FleetDeviceMetrics{
+			Name:       d.Chip.Name,
+			Dispatched: d.Load.Dispatched,
+			Migrated:   d.Migrated,
+			QueueDepth: d.Load.QueueDepth,
+			Breaker:    d.BreakerState,
+		}
+	}
+	return sec
+}

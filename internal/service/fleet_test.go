@@ -1,0 +1,258 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/faultinject"
+	"repro/internal/nisqbench"
+)
+
+// dispatchTrace submits the same job stream to a fresh, never-started
+// 3-chip service and returns the JSON-encoded dispatch decisions.
+// Workers never run, so the trace depends only on calibration and the
+// evolving queue depths — exactly what must stay deterministic.
+func dispatchTrace(t *testing.T, policy string) []byte {
+	t.Helper()
+	devices := []*arch.Device{arch.London(), arch.IBMQ16(0), arch.Tokyo(1)}
+	cfg := testConfig()
+	cfg.FleetPolicy = policy
+	svc, err := New(devices, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"bv_n3", "toffoli_3", "fredkin_3", "bv_n4", "peres_3", "bv_n3"}
+	for round := 0; round < 4; round++ {
+		for _, n := range names {
+			if _, err := svc.Submit(nisqbench.MustGet(n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := svc.Fleet()
+	if err := svc.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.Marshal(st.RecentDecisions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestFleetDispatchDeterministic pins the acceptance criterion: the
+// dispatch trace for one job stream is byte-identical at GOMAXPROCS
+// 1, 2, and 8, for every policy.
+func TestFleetDispatchDeterministic(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, policy := range []string{"speed", "fidelity", "fairness", "balanced"} {
+		var want []byte
+		for _, procs := range []int{1, 2, 8} {
+			runtime.GOMAXPROCS(procs)
+			got := dispatchTrace(t, policy)
+			if want == nil {
+				want = got
+				continue
+			}
+			if string(got) != string(want) {
+				t.Fatalf("%s: GOMAXPROCS=%d trace diverged:\n%s\nvs\n%s", policy, procs, got, want)
+			}
+		}
+		if len(want) <= 2 {
+			t.Fatalf("%s: empty dispatch trace", policy)
+		}
+	}
+}
+
+// TestFleetSpreadsAcrossChips: a stream of identical jobs on a fleet
+// of identical chips must alternate between them under balanced (the
+// queue-depth penalty), never pile onto one.
+func TestFleetSpreadsAcrossChips(t *testing.T) {
+	a, b := arch.London(), arch.London()
+	a.Name, b.Name = "london-a", "london-b"
+	svc, err := New([]*arch.Device{a, b}, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := svc.Submit(nisqbench.MustGet("bv_n3")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Fleet()
+	if err := svc.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st.Policy != "balanced" {
+		t.Fatalf("default policy = %q, want balanced", st.Policy)
+	}
+	for _, d := range st.Devices {
+		if d.Load.Dispatched != 4 {
+			t.Fatalf("load not alternated: %s got %d of 8", d.Chip.Name, d.Load.Dispatched)
+		}
+	}
+	// The trace alternates a,b,a,b…: equal chips tie-break to the
+	// smaller name exactly when their queue depths match.
+	for i, dec := range st.RecentDecisions {
+		want := "london-a"
+		if i%2 == 1 {
+			want = "london-b"
+		}
+		if dec.Backend != want {
+			t.Fatalf("decision %d routed to %s, want %s", i, dec.Backend, want)
+		}
+	}
+}
+
+// TestFleetViewAndMetrics drives a small workload end to end and
+// checks GET /v1/fleet and the /metrics fleet section.
+func TestFleetViewAndMetrics(t *testing.T) {
+	svc := newTestService(t, testConfig())
+	svc.Start()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		ids = append(ids, submitOK(t, ts.URL).ID)
+	}
+	for _, id := range ids {
+		waitTerminal(t, ts.URL, id, 60*time.Second)
+	}
+	shutdownClean(t, svc)
+
+	var st FleetStatus
+	if code := getJSON(t, ts.URL+"/v1/fleet", &st); code != 200 {
+		t.Fatalf("GET /v1/fleet: HTTP %d", code)
+	}
+	if st.Policy != "balanced" || len(st.Devices) != 2 {
+		t.Fatalf("fleet view: %+v", st)
+	}
+	if st.Dispatches != 3 {
+		t.Fatalf("dispatches = %d, want 3", st.Dispatches)
+	}
+	var perDevice int64
+	for _, d := range st.Devices {
+		perDevice += d.Load.Dispatched
+		if d.BreakerState != "closed" {
+			t.Fatalf("%s breaker %q after healthy run", d.Chip.Name, d.BreakerState)
+		}
+	}
+	if perDevice != st.Dispatches {
+		t.Fatalf("per-device dispatched %d != fleet dispatches %d", perDevice, st.Dispatches)
+	}
+	if len(st.RecentDecisions) != 3 {
+		t.Fatalf("decision trace has %d entries", len(st.RecentDecisions))
+	}
+
+	var snap MetricsSnapshot
+	if code := getJSON(t, ts.URL+"/metrics", &snap); code != 200 {
+		t.Fatalf("GET /metrics: HTTP %d", code)
+	}
+	if snap.Fleet == nil {
+		t.Fatal("metrics snapshot missing fleet section")
+	}
+	if snap.Fleet.Policy != "balanced" || snap.Fleet.Dispatches != 3 || len(snap.Fleet.Devices) != 2 {
+		t.Fatalf("metrics fleet section: %+v", snap.Fleet)
+	}
+}
+
+// TestChaosBreakerMigration is the acceptance chaos case: jobs are
+// spread over two identical chips, the first compile on one of them is
+// made to fail with the breaker threshold at 1, and every job still
+// queued for the tripped backend must migrate to the healthy one — no
+// job lost, none duplicated, exactly the one faulted batch failed.
+func TestChaosBreakerMigration(t *testing.T) {
+	a, b := arch.London(), arch.London()
+	a.Name, b.Name = "london-a", "london-b"
+	cfg := chaosConfig()
+	cfg.MaxColocate = 1
+	cfg.MaxRetries = -1
+	cfg.BreakerThreshold = 1
+	cfg.BreakerCooldown = time.Minute // stay open for the whole test
+	cfg.Faults = faultinject.New(1).FailVisits(faultinject.SiteCompile, 1, 1)
+	svc, err := New([]*arch.Device{a, b}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-load the queue before the workers start so both backends hold
+	// several assigned jobs when the fault fires.
+	const jobs = 12
+	for i := 0; i < jobs; i++ {
+		if _, err := svc.Submit(nisqbench.MustGet("bv_n3")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.Start()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		done := true
+		for _, rec := range svc.Jobs() {
+			if !rec.State.Terminal() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs not terminal: %+v", svc.Jobs())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	shutdownClean(t, svc)
+
+	var doneN, failedN int
+	seen := map[int]bool{}
+	for _, rec := range svc.Jobs() {
+		if seen[rec.Seq] {
+			t.Fatalf("job %d appears twice", rec.Seq)
+		}
+		seen[rec.Seq] = true
+		switch rec.State {
+		case StateDone:
+			doneN++
+		case StateFailed:
+			failedN++
+			if !strings.Contains(rec.Error, "injected") {
+				t.Fatalf("unexpected failure: %q", rec.Error)
+			}
+		}
+	}
+	if doneN+failedN != jobs {
+		t.Fatalf("%d done + %d failed != %d submitted", doneN, failedN, jobs)
+	}
+	if failedN != 1 {
+		t.Fatalf("%d jobs failed, want exactly the faulted batch", failedN)
+	}
+
+	st := svc.Fleet()
+	if st.JobsMigrated < 1 {
+		t.Fatalf("no jobs migrated off the tripped backend: %+v", st)
+	}
+	var perDevice, migrated int64
+	for _, d := range st.Devices {
+		perDevice += d.Load.Dispatched
+		migrated += d.Migrated
+	}
+	if migrated != st.JobsMigrated {
+		t.Fatalf("per-device migrated %d != fleet counter %d", migrated, st.JobsMigrated)
+	}
+	// Every migration re-dispatches, so total routing decisions are
+	// the submissions plus the migrations.
+	if perDevice != int64(jobs)+st.JobsMigrated || st.Dispatches != perDevice {
+		t.Fatalf("dispatch accounting: per-device %d, fleet %d, migrated %d",
+			perDevice, st.Dispatches, st.JobsMigrated)
+	}
+}

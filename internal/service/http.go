@@ -38,6 +38,7 @@ type healthResponse struct {
 //	GET  /v1/jobs      list all job records
 //	GET  /v1/jobs/{id} one job record (404 when unknown)
 //	GET  /v1/backends  per-backend worker status
+//	GET  /v1/fleet     fleet-dispatcher view (policy, per-chip load, decisions)
 //	GET  /metrics      MetricsSnapshot JSON
 //	GET  /healthz      liveness probe
 //
@@ -49,6 +50,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/backends", s.handleBackends)
+	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	var h http.Handler = mux
@@ -109,6 +111,10 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleBackends(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Backends())
+}
+
+func (s *Service) handleFleet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Fleet())
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -207,6 +207,18 @@ type Registry struct {
 	CacheEvictions Counter
 	CacheCoalesced Counter
 
+	// Fleet-dispatch counters: routing decisions made by the
+	// internal/fleet dispatcher and jobs migrated off a backend whose
+	// circuit breaker opened.
+	Dispatches   Counter
+	JobsMigrated Counter
+
+	// fleetSource supplies the per-device fleet section for Snapshot;
+	// the service wires it in New (before any worker starts), so reads
+	// are race-free. nil (registry used standalone in tests) omits the
+	// section.
+	fleetSource func() FleetSection
+
 	BatchSize      *Histogram
 	QueueLatency   *Histogram // seconds from submit to batch claim
 	CompileLatency *Histogram // seconds compiling a batch
@@ -282,6 +294,26 @@ type MetricsSnapshot struct {
 	} `json:"latency_seconds"`
 	BatchSize HistogramSnapshot `json:"batch_size"`
 	PST       HistogramSnapshot `json:"pst"`
+	Fleet     *FleetSection     `json:"fleet,omitempty"`
+}
+
+// FleetSection is the /metrics view of the fleet dispatcher: the
+// active policy, fleet-wide routing counters, and one row per device.
+type FleetSection struct {
+	Policy       string               `json:"policy"`
+	Dispatches   int64                `json:"dispatches"`
+	JobsMigrated int64                `json:"jobs_migrated"`
+	Devices      []FleetDeviceMetrics `json:"devices"`
+}
+
+// FleetDeviceMetrics is one backend's dispatch counters in the
+// /metrics fleet section.
+type FleetDeviceMetrics struct {
+	Name       string `json:"name"`
+	Dispatched int64  `json:"dispatched"`
+	Migrated   int64  `json:"migrated"`
+	QueueDepth int    `json:"queue_depth"`
+	Breaker    string `json:"breaker"`
 }
 
 // Snapshot assembles the current metric values.
@@ -327,6 +359,10 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 	s.LatencySeconds.Execute = r.ExecLatency.Snapshot()
 	s.LatencySeconds.Total = r.TotalLatency.Snapshot()
 	s.PST = r.PST.Snapshot()
+	if r.fleetSource != nil {
+		sec := r.fleetSource()
+		s.Fleet = &sec
+	}
 	return s
 }
 

@@ -1,13 +1,19 @@
 // Package service implements qucloudd, the long-running QuCloud
 // compilation service: an HTTP/JSON front end over a bounded in-memory
-// job queue, dispatched to one goroutine worker per registered backend
-// (internal/arch device). Each worker pulls batches with the EPST
-// scheduler (internal/sched) — under a static epsilon or the
-// internal/quos adaptive controller — compiles them through the
+// job queue, dispatched across one goroutine worker per registered
+// backend (internal/arch device). Every admitted job is routed to a
+// specific chip by the fleet dispatcher (internal/fleet) under a
+// pluggable allocation policy — speed, fidelity, fairness, or balanced
+// — scored from per-chip calibration summaries, live queue depth, and
+// smoothed service times. Each worker pulls batches of its own jobs
+// with the EPST scheduler (internal/sched) — under a static epsilon or
+// the internal/quos adaptive controller — compiles them through the
 // QuCloud pipeline (internal/core), "executes" them on the noisy
 // simulator (internal/sim), and records per-job results in an
 // in-memory store with lifecycle states
-// (queued → batched → compiling → done/failed).
+// (queued → batched → compiling → done/failed). When a backend's
+// circuit breaker opens, its still-queued jobs migrate back through
+// the dispatcher onto healthy chips.
 //
 // The queue applies backpressure: when it is full, Submit returns
 // ErrQueueFull and the HTTP layer answers 429. Shutdown drains the
@@ -29,6 +35,7 @@ import (
 	"repro/internal/cloudsim"
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/fleet"
 	"repro/internal/sim"
 )
 
@@ -66,6 +73,10 @@ type Config struct {
 	QueueSize int
 	// Policy picks static or adaptive epsilon control.
 	Policy Policy
+	// FleetPolicy names the internal/fleet allocation policy that routes
+	// each admitted job to a backend (speed, fidelity, fairness,
+	// balanced). Empty selects "balanced".
+	FleetPolicy string
 	// Epsilon is the (initial) EPST violation threshold.
 	Epsilon float64
 	// Lookahead and MaxColocate pass through to the EPST scheduler.
@@ -73,6 +84,14 @@ type Config struct {
 	MaxColocate int
 	// Trials is the Monte-Carlo budget per executed batch.
 	Trials int
+	// ExecDwell emulates hardware occupancy: after simulating a batch
+	// the worker holds its backend busy for this wall-clock duration,
+	// approximating shots × (reset + readout + depth·layer) on a real
+	// QPU (the offline cloudsim's timing model). The simulator itself
+	// answers at CPU speed, which makes queueing behaviour — and any
+	// fleet scale-out measurement — unrealistically compute-bound
+	// without it. 0 (the default) disables the dwell.
+	ExecDwell time.Duration
 	// Attempts is the compiler's best-of-N seed count.
 	Attempts int
 	// Workers bounds the goroutines each backend worker's compiler uses
@@ -194,11 +213,13 @@ type JobRecord struct {
 }
 
 // job pairs the client-visible record with the queue-item shape shared
-// with internal/cloudsim. Both are guarded by Service.mu.
+// with internal/cloudsim. All fields are guarded by Service.mu.
 type job struct {
-	rec     JobRecord
-	item    cloudsim.Job
-	claimed time.Time
+	rec      JobRecord
+	item     cloudsim.Job
+	fj       fleet.Job // width and gate counts for dispatch scoring
+	assigned int       // worker index the dispatcher routed the job to
+	claimed  time.Time
 }
 
 // BreakerStatus surfaces a worker's circuit-breaker state: "closed"
@@ -244,6 +265,11 @@ type Service struct {
 	metrics   *Registry
 	workers   []*worker
 	maxQubits int
+	// policy routes every admitted job to a backend; chips caches each
+	// worker's calibration summary by worker index. Both are immutable
+	// after New.
+	policy fleet.Policy
+	chips  []fleet.Chip
 	// cache is the compile-result cache shared by every worker (keys
 	// embed the device name and calibration version, so backends never
 	// collide); nil when Config.CacheSize disables caching.
@@ -255,15 +281,16 @@ type Service struct {
 	stopOnce sync.Once
 
 	mu          sync.Mutex
-	cond        *sync.Cond      // signals queue/lifecycle changes; Wait called with mu held
-	queue       []*job          // guarded by mu
-	jobs        map[string]*job // guarded by mu
-	terminalIDs []string        // guarded by mu; terminal job ids, oldest first (eviction order)
-	seq         int             // guarded by mu
-	accepting   bool            // guarded by mu
-	draining    bool            // guarded by mu
-	forced      bool            // guarded by mu
-	started     bool            // guarded by mu
+	cond        *sync.Cond         // signals queue/lifecycle changes; Wait called with mu held
+	queue       []*job             // guarded by mu
+	jobs        map[string]*job    // guarded by mu
+	terminalIDs []string           // guarded by mu; terminal job ids, oldest first (eviction order)
+	seq         int                // guarded by mu
+	accepting   bool               // guarded by mu
+	draining    bool               // guarded by mu
+	forced      bool               // guarded by mu
+	started     bool               // guarded by mu
+	decisions   []DispatchDecision // guarded by mu; recent dispatch trace, oldest first
 	wg          sync.WaitGroup
 }
 
@@ -340,11 +367,19 @@ func New(devices []*arch.Device, cfg Config) (*Service, error) {
 	} else if cfg.CacheSize < 0 {
 		cfg.CacheSize = 0
 	}
+	if cfg.FleetPolicy == "" {
+		cfg.FleetPolicy = "balanced"
+	}
+	fleetPolicy, err := fleet.New(cfg.FleetPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
 	seen := map[string]bool{}
 	s := &Service{
 		cfg:       cfg,
 		start:     time.Now(),
 		metrics:   NewRegistry(),
+		policy:    fleetPolicy,
 		jobs:      map[string]*job{},
 		stopCh:    make(chan struct{}),
 		accepting: true,
@@ -374,7 +409,9 @@ func New(devices []*arch.Device, cfg Config) (*Service, error) {
 			s.maxQubits = n
 		}
 		s.workers = append(s.workers, newWorker(s, i, d))
+		s.chips = append(s.chips, fleet.ChipOf(d))
 	}
+	s.metrics.fleetSource = s.fleetMetrics
 	return s, nil
 }
 
@@ -418,6 +455,7 @@ func (s *Service) Submit(circ *circuit.Circuit) (JobRecord, error) {
 		return JobRecord{}, fmt.Errorf("%w: program %q needs %d qubits, largest backend has %d",
 			ErrTooLarge, circ.Name, circ.NumQubits, s.maxQubits)
 	}
+	fj := fleet.Job{Qubits: circ.NumQubits, CNOTs: circ.CNOTCount(), Gate1s: circ.Gate1Count()}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.accepting {
@@ -444,6 +482,15 @@ func (s *Service) Submit(circ *circuit.Circuit) (JobRecord, error) {
 			ArrivalSeconds: arrival,
 		},
 		item: cloudsim.Job{ID: seq, Circ: circ, Arrival: arrival},
+		fj:   fj,
+	}
+	// Route before enqueueing so the candidate queue depths exclude the
+	// job being placed.
+	if !s.dispatchLocked(j, -1) {
+		s.seq-- // roll back: the job was never admitted
+		s.metrics.JobsRejected.Inc()
+		return JobRecord{}, fmt.Errorf("%w: program %q needs %d qubits",
+			ErrTooLarge, circ.Name, circ.NumQubits)
 	}
 	s.queue = append(s.queue, j)
 	s.jobs[j.rec.ID] = j

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cloudsim"
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/fleet"
 	"repro/internal/quos"
 	"repro/internal/sched"
 )
@@ -67,6 +68,9 @@ type worker struct {
 	schedErrs      int64                  // guarded by svc.mu
 	lastSchedErr   string                 // guarded by svc.mu
 	brk            breaker                // guarded by svc.mu
+	dispatched     int64                  // guarded by svc.mu; jobs routed here by the dispatcher
+	migrated       int64                  // guarded by svc.mu; jobs moved away after this breaker opened
+	ewma           fleet.EWMA             // guarded by svc.mu; smoothed per-job service seconds
 }
 
 // newWorker wires a worker for the device.
@@ -82,6 +86,7 @@ func newWorker(s *Service, index int, dev *arch.Device) *worker {
 		seed:  s.cfg.Seed + int64(index)*1_000_003,
 		eps:   s.cfg.Epsilon,
 		brk:   breaker{state: breakerClosed},
+		ewma:  fleet.NewEWMA(0.3),
 	}
 	if s.cfg.Policy == PolicyAdaptive {
 		qcfg := quos.DefaultConfig()
@@ -165,10 +170,11 @@ func (w *worker) claimIsolated() (batch []*job, exit bool) {
 	return batch, batch == nil
 }
 
-// claim blocks until jobs that fit this device are queued, then
-// selects the next EPST batch and removes it from the queue. It
-// returns nil when the worker should exit: the service is draining and
-// holds nothing this device can run, or a forced stop was requested.
+// claim blocks until jobs the dispatcher routed to this backend are
+// queued, then selects the next EPST batch among them and removes it
+// from the queue. It returns nil when the worker should exit: the
+// service is draining and holds nothing assigned here, or a forced
+// stop was requested.
 func (w *worker) claim() []*job {
 	s := w.svc
 	s.mu.Lock()
@@ -180,7 +186,7 @@ func (w *worker) claim() []*job {
 		}
 		cands = cands[:0]
 		for _, j := range s.queue {
-			if j.rec.Qubits <= w.dev.NumQubits() {
+			if j.assigned == w.index {
 				cands = append(cands, j)
 			}
 		}
@@ -279,7 +285,7 @@ func (w *worker) scheduleSafe(sjobs []sched.Job, scfg sched.Config) (batches []s
 	return sched.Schedule(w.dev, sjobs, scfg)
 }
 
-// failHead marks the oldest queued job that fits this backend failed
+// failHead marks the oldest queued job assigned to this backend failed
 // (the claim-panic recovery path: without removing a job the loop
 // would re-panic on the same queue head forever).
 func (w *worker) failHead(msg string) {
@@ -287,7 +293,7 @@ func (w *worker) failHead(msg string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i, j := range s.queue {
-		if j.rec.Qubits > w.dev.NumQubits() {
+		if j.assigned != w.index {
 			continue
 		}
 		s.queue = append(s.queue[:i], s.queue[i+1:]...)
@@ -304,13 +310,14 @@ func (w *worker) failHead(msg string) {
 
 // requeueFront returns unexecuted jobs to the head of the queue (used
 // when a co-located compilation falls back to running the head alone).
+// The jobs stay assigned to this backend, so Backend is kept; only the
+// batch membership is undone.
 func (w *worker) requeueFront(tail []*job) {
 	s := w.svc
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, j := range tail {
 		j.rec.State = StateQueued
-		j.rec.Backend = ""
 		j.rec.CoJobs = nil
 	}
 	s.queue = append(append([]*job(nil), tail...), s.queue...)
@@ -413,10 +420,16 @@ func (w *worker) attempt(curp *[]*job) error {
 
 	simStart := time.Now()
 	psts, err := w.simulate(ctx, res)
-	executed := time.Now()
 	if err != nil {
 		return fmt.Errorf("execute: %w", err)
 	}
+	if s.cfg.ExecDwell > 0 {
+		// Emulated hardware occupancy (see Config.ExecDwell): the
+		// backend stays busy for the dwell as a real QPU would across
+		// its shots.
+		time.Sleep(s.cfg.ExecDwell)
+	}
+	executed := time.Now()
 	// Guard the average before it reaches the adaptive controller: a
 	// count mismatch or non-finite PST would poison epsilon adaptation
 	// with NaN forever after.
@@ -460,6 +473,9 @@ func (w *worker) attempt(curp *[]*job) error {
 		w.busy = false
 		w.jobsDone += int64(len(batch))
 		w.batchesDone++
+		// Feed the dispatcher's wait estimator: the batch's wall time
+		// amortized over its jobs approximates per-job service cost.
+		w.ewma.Observe(executed.Sub(start).Seconds() / float64(len(batch)))
 		w.trace = append(w.trace, cloudsim.BatchRecord{
 			JobIDs:     seqs,
 			Start:      start.Sub(s.start).Seconds(),
@@ -629,6 +645,7 @@ func (w *worker) breakerFailure() {
 		w.brk.openedAt = time.Now()
 		w.brk.opens++
 		s.metrics.BreakerTrips.Inc()
+		s.migrateLocked(w)
 	case breakerClosed:
 		if s.cfg.BreakerThreshold > 0 && w.brk.fails >= s.cfg.BreakerThreshold {
 			w.brk.state = breakerOpen
@@ -636,6 +653,7 @@ func (w *worker) breakerFailure() {
 			w.brk.opens++
 			s.metrics.BreakerTrips.Inc()
 			s.metrics.OpenBreakers.Add(1)
+			s.migrateLocked(w)
 		}
 	}
 }
