@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race chaos bench bench-json fuzz-smoke cover experiments examples clean
+.PHONY: all build vet lint lint-json test race chaos bench bench-json fuzz-smoke cover experiments examples clean
 
 all: build test
 
@@ -12,10 +12,19 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Domain-specific static checks (determinism, float safety, lock
-# hygiene); see internal/lint and `go run ./cmd/qulint -list`.
+# Domain-specific static checks: determinism (norandglobal,
+# nowallclock, maporder, detflow), float safety (floateq), concurrency
+# hygiene (guardedby, lockorder, atomicmix), cancellation plumbing
+# (ctxflow), and output discipline (noprint); see internal/lint and
+# `go run ./cmd/qulint -list`.
 lint:
 	$(GO) run ./cmd/qulint ./...
+
+# Machine-readable lint artifact: the full check set over ./... as a
+# JSON object (findings with per-check docs, the selected checks, and
+# //lint:ignore suppression counts) written to LINT.json.
+lint-json:
+	$(GO) run ./cmd/qulint -json ./... > LINT.json
 
 # The default test path runs vet and qulint first, then the full
 # suite, then the race detector over the concurrent packages (the

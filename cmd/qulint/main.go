@@ -1,17 +1,25 @@
 // Command qulint runs the repository's domain-specific static checks
 // (internal/lint) over every package in the module: determinism
-// (norandglobal, nowallclock, maporder), numeric safety (floateq), and
-// library/concurrency hygiene (noprint, guardedby).
+// (norandglobal, nowallclock, maporder, detflow), numeric safety
+// (floateq), library/concurrency hygiene (noprint, guardedby,
+// lockorder, atomicmix), and cancellation plumbing (ctxflow). The
+// interprocedural checks build a module-wide call graph, so the whole
+// module is always loaded; patterns only filter which packages'
+// findings are reported.
 //
 // Usage:
 //
 //	qulint [-checks a,b,c] [-json] [-list] [pattern ...]
 //
 // Patterns are ./...-style path filters relative to the module root
-// (default ./...). Findings print as file:line:col diagnostics (or a
-// JSON array with -json); the exit status is 1 when any finding
-// survives, 2 on usage or load errors. Suppress a finding with
-// //lint:ignore <check> <reason> on or directly above the line.
+// (default ./...). Findings print as file:line:col diagnostics; -json
+// emits an object {"findings": [...], "checks": [...],
+// "suppressions": {...}} where each finding carries the one-line doc
+// of its check and suppressions counts the //lint:ignore directives
+// seen (total / used / unused). The exit status is 1 when any finding
+// survives, 2 on usage, load, or type-check errors. Suppress a
+// finding with //lint:ignore <check> <reason> on or directly above
+// the line.
 package main
 
 import (
@@ -30,11 +38,24 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonReport is the -json output shape.
+type jsonReport struct {
+	Findings     []lint.Finding        `json:"findings"`
+	Checks       []jsonCheck           `json:"checks"`
+	Suppressions lint.SuppressionStats `json:"suppressions"`
+}
+
+// jsonCheck names one selected check with its doc line.
+type jsonCheck struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("qulint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	checksFlag := fs.String("checks", "", "comma-separated checks to run (default: all)")
-	jsonFlag := fs.Bool("json", false, "emit findings as a JSON array")
+	jsonFlag := fs.Bool("json", false, "emit a JSON report object")
 	listFlag := fs.Bool("list", false, "list available checks and exit")
 	dirFlag := fs.String("C", ".", "directory to resolve the module from")
 	if err := fs.Parse(args); err != nil {
@@ -61,15 +82,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "qulint:", err)
 		return 2
 	}
-	pkgs = filterPackages(pkgs, fs.Args())
-	findings := lint.Run(pkgs, checks)
+	// Type errors are a hard failure, distinct from findings: dataflow
+	// over a broken type graph would be garbage, so report and bail
+	// before any check runs.
+	broken := false
+	for _, p := range pkgs {
+		for _, te := range p.TypeErrors {
+			fmt.Fprintf(stderr, "qulint: %s: %v\n", p.Rel, te)
+			broken = true
+		}
+	}
+	if broken {
+		return 2
+	}
+
+	// The whole module always feeds Analyze (the interprocedural checks
+	// need every function's summary); patterns restrict reporting only.
+	patterns := fs.Args()
+	include := func(p *lint.Package) bool { return matchesAny(p.Rel, patterns) }
+	res := lint.Analyze(pkgs, checks, include)
+	findings := res.Findings
+
 	if *jsonFlag {
+		report := jsonReport{
+			Findings:     findings,
+			Suppressions: res.Suppressions,
+		}
+		if report.Findings == nil {
+			report.Findings = []lint.Finding{}
+		}
+		for _, c := range checks {
+			report.Checks = append(report.Checks, jsonCheck{Name: c.Name, Doc: c.Doc})
+		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if findings == nil {
-			findings = []lint.Finding{}
-		}
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(report); err != nil {
 			fmt.Fprintln(stderr, "qulint:", err)
 			return 2
 		}
@@ -85,6 +132,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// matchesAny reports whether rel matches any ./...-style pattern. No
+// patterns match everything.
+func matchesAny(rel string, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	for _, pat := range patterns {
+		if matchPattern(rel, pat) {
+			return true
+		}
+	}
+	return false
+}
+
 // filterPackages keeps packages matching any ./...-style pattern
 // (resolved against the module root). No patterns, "." or "./..."
 // match everything.
@@ -94,11 +155,8 @@ func filterPackages(pkgs []*lint.Package, patterns []string) []*lint.Package {
 	}
 	var out []*lint.Package
 	for _, p := range pkgs {
-		for _, pat := range patterns {
-			if matchPattern(p.Rel, pat) {
-				out = append(out, p)
-				break
-			}
+		if matchesAny(p.Rel, patterns) {
+			out = append(out, p)
 		}
 	}
 	return out

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -26,7 +28,8 @@ func TestModuleIsClean(t *testing.T) {
 }
 
 // TestJSONOutput filters to a single package and asserts the -json
-// encoding is a well-formed (possibly empty) array.
+// encoding is the report object: findings (with docs), the selected
+// checks, and suppression counts.
 func TestJSONOutput(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module")
@@ -36,12 +39,69 @@ func TestJSONOutput(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
 	}
-	var findings []lint.Finding
-	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
-		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout.String())
+	var report jsonReport
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("output is not a JSON report object: %v\n%s", err, stdout.String())
 	}
-	if len(findings) != 0 {
-		t.Errorf("internal/fp should be floateq-clean, got %v", findings)
+	if len(report.Findings) != 0 {
+		t.Errorf("internal/fp should be floateq-clean, got %v", report.Findings)
+	}
+	if len(report.Checks) != 1 || report.Checks[0].Name != "floateq" || report.Checks[0].Doc == "" {
+		t.Errorf("checks section = %+v, want the documented floateq entry", report.Checks)
+	}
+}
+
+// writeTempModule lays out a scratch module for the exit-code tests.
+func writeTempModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.21\n"
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestExitOneOnFindings drives the driver over a module with a real
+// defect: findings must reach stdout and the exit status must be 1,
+// distinct from the load-error status.
+func TestExitOneOnFindings(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"internal/core/eq.go": "package core\n\n// Eq compares floats exactly.\nfunc Eq(a, b float64) bool {\n\treturn a == b\n}\n",
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "floateq") {
+		t.Errorf("stdout missing the floateq finding:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("stderr missing the finding count:\n%s", stderr.String())
+	}
+}
+
+// TestExitTwoOnTypeError drives the driver over a module that does
+// not type-check: the error is reported on stderr and the exit status
+// is 2, so CI can tell "broken build" from "lint findings".
+func TestExitTwoOnTypeError(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"internal/core/bad.go": "package core\n\nfunc broken() {\n\tundefinedIdent()\n}\n",
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "undefinedIdent") {
+		t.Errorf("stderr missing the type error:\n%s", stderr.String())
 	}
 }
 

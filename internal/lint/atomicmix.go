@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkAtomicMix finds struct fields that are accessed through
+// sync/atomic in one function but with plain loads/stores in another —
+// a data race the race detector only catches if both paths run under
+// test. Fields whose type comes from sync or sync/atomic (atomic.Int64
+// and friends) are safe by construction and exempt.
+func checkAtomicMix() Check {
+	return Check{
+		Name: "atomicmix",
+		Doc: "a field accessed via sync/atomic in one function must not be read or " +
+			"written plainly in another",
+		RunModule: runAtomicMix,
+	}
+}
+
+// atomicSite is one sync/atomic access to a field.
+type atomicSite struct {
+	fn  *FuncInfo
+	pos token.Pos
+}
+
+func runAtomicMix(m *Module) []Finding {
+	// Pass 1: every field reached through an argument of a sync/atomic
+	// call, with the selector nodes involved (so pass 2 can skip them).
+	atomicBy := map[*types.Var][]atomicSite{}
+	inAtomic := map[*ast.SelectorExpr]bool{}
+	for _, f := range m.Funcs() {
+		p := f.Pkg
+		if p.Info == nil {
+			continue
+		}
+		ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, ok := p.pkgFuncCall(f.File, call, "sync/atomic"); !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					sel, ok := an.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					if fv := fieldVar(p, sel); fv != nil {
+						atomicBy[fv] = append(atomicBy[fv], atomicSite{fn: f, pos: sel.Pos()})
+						inAtomic[sel] = true
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	if len(atomicBy) == 0 {
+		return nil
+	}
+
+	// Pass 2: plain accesses to those same fields from *other*
+	// functions.
+	var out []Finding
+	for _, f := range m.Funcs() {
+		p := f.Pkg
+		if p.Info == nil {
+			continue
+		}
+		ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomic[sel] {
+				return true
+			}
+			fv := fieldVar(p, sel)
+			if fv == nil {
+				return true
+			}
+			sites := atomicBy[fv]
+			if len(sites) == 0 {
+				return true
+			}
+			elsewhere := atomicSite{}
+			found := false
+			for _, s := range sites {
+				if s.fn != f && (!found || posLess(p.Fset, s.pos, elsewhere.pos)) {
+					elsewhere, found = s, true
+				}
+			}
+			if !found {
+				return true // all atomic accesses are in this same function
+			}
+			ap := p.Fset.Position(elsewhere.pos)
+			out = append(out, p.finding("atomicmix", sel,
+				"%s accesses %s plainly, but %s uses sync/atomic on it (%s:%d): every access must go through sync/atomic",
+				f.Name(), exprString(sel), elsewhere.fn.Name(), shortFile(ap.Filename), ap.Line))
+			return true
+		})
+	}
+	return out
+}
+
+// fieldVar resolves a selector to the struct field it reads, excluding
+// fields whose own type already provides atomicity (sync / sync/atomic
+// types).
+func fieldVar(p *Package, sel *ast.SelectorExpr) *types.Var {
+	s, ok := p.Info.Selections[sel]
+	if !ok {
+		return nil
+	}
+	fv, ok := s.Obj().(*types.Var)
+	if !ok || !fv.IsField() {
+		return nil
+	}
+	t := fv.Type().String()
+	if strings.Contains(t, "sync/atomic.") || strings.Contains(t, "sync.") {
+		return nil
+	}
+	return fv
+}
+
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -113,6 +113,7 @@ var deterministicPkgs = map[string]bool{
 	"internal/community": true,
 	"internal/core":      true,
 	"internal/fleet":     true,
+	"internal/fp":        true,
 	"internal/graph":     true,
 	"internal/nisqbench": true,
 	"internal/partition": true,
@@ -121,6 +122,20 @@ var deterministicPkgs = map[string]bool{
 	"internal/sched":     true,
 	"internal/sim":       true,
 	"internal/viz":       true,
+}
+
+// latencyPkgs are the internal packages deliberately exempt from the
+// determinism discipline: they measure real latency, inject faults, or
+// host the analyzer itself. Every internal/* package must appear in
+// exactly one of deterministicPkgs and latencyPkgs — enforced by
+// TestPackageClassification — so new packages are classified on
+// purpose, not by omission.
+var latencyPkgs = map[string]bool{
+	"internal/cloudsim":    true,
+	"internal/faultinject": true,
+	"internal/lint":        true,
+	"internal/quos":        true,
+	"internal/service":     true,
 }
 
 // wallClockFuncs are the time package's wall-clock reads.

@@ -1,0 +1,527 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkDetFlow is the interprocedural successor of nowallclock: instead
+// of forbidding clock reads per package, it tracks *nondeterministic
+// values* — wall-clock reads, the global math/rand source, map and
+// sync.Map iteration order, goroutine completion order — through
+// assignments and static calls, and reports where such a value reaches
+// the return of an exported function or a stored field inside one of
+// the deterministicPkgs. Per-function "returns tainted" summaries are
+// propagated over the module call graph to a fixpoint, so taint that
+// passes through any chain of helpers is still seen at the boundary.
+func checkDetFlow() Check {
+	return Check{
+		Name: "detflow",
+		Doc: "nondeterminism (wall clock, global rand, map/sync.Map iteration order, " +
+			"goroutine completion order) must not flow into results of deterministic packages",
+		RunModule: runDetFlow,
+	}
+}
+
+// detSource says how nondeterminism entered a value: the ultimate
+// source plus the call chain that carried it here (nearest callee
+// first).
+type detSource struct {
+	desc string
+	via  []string
+}
+
+// through extends the chain by one caller-side hop.
+func (s detSource) through(callee string) detSource {
+	via := make([]string, 0, len(s.via)+1)
+	via = append(via, callee)
+	via = append(via, s.via...)
+	return detSource{desc: s.desc, via: via}
+}
+
+func (s detSource) String() string {
+	if len(s.via) == 0 {
+		return s.desc
+	}
+	return s.desc + " via " + strings.Join(s.via, " → ")
+}
+
+// detSummary is the per-function fact propagated over the call graph.
+type detSummary struct {
+	tainted bool // some return value may carry nondeterminism
+	src     detSource
+}
+
+func runDetFlow(m *Module) []Finding {
+	sums := map[*FuncInfo]*detSummary{}
+	for _, f := range m.Funcs() {
+		sums[f] = &detSummary{}
+	}
+	m.Fixpoint(func(f *FuncInfo) bool {
+		if sums[f].tainted {
+			return false // monotone: once tainted, stays tainted
+		}
+		a := newDetAnalysis(m, f, sums)
+		a.run()
+		if a.returnsTainted {
+			sums[f].tainted = true
+			sums[f].src = a.returnSrc
+			return true
+		}
+		return false
+	})
+
+	// Reporting pass: with final summaries in hand, re-analyze each
+	// function in a deterministic package and surface its sinks.
+	var out []Finding
+	for _, f := range m.Funcs() {
+		if !deterministicPkgs[f.Pkg.Rel] {
+			continue
+		}
+		a := newDetAnalysis(m, f, sums)
+		a.run()
+		out = append(out, a.findings...)
+	}
+	return out
+}
+
+// detAnalysis is one intraprocedural pass: local taint propagation plus
+// sink collection for a single function body.
+type detAnalysis struct {
+	m    *Module
+	f    *FuncInfo
+	sums map[*FuncInfo]*detSummary
+
+	taint          map[types.Object]detSource
+	returnsTainted bool
+	returnSrc      detSource
+	findings       []Finding
+}
+
+func newDetAnalysis(m *Module, f *FuncInfo, sums map[*FuncInfo]*detSummary) *detAnalysis {
+	return &detAnalysis{m: m, f: f, sums: sums, taint: map[types.Object]detSource{}}
+}
+
+func (a *detAnalysis) run() {
+	if a.f.Decl.Body == nil {
+		return
+	}
+	a.orderPass()
+	// Local taint is a monotone set over a finite variable population;
+	// a handful of sweeps reaches the fixpoint for any realistic body.
+	for i := 0; i < 16; i++ {
+		if !a.flowPass() {
+			break
+		}
+	}
+	a.sinkPass()
+}
+
+// objOf resolves an identifier to its object (definition or use).
+func (a *detAnalysis) objOf(id *ast.Ident) types.Object {
+	info := a.f.Pkg.Info
+	if info == nil {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// --- order sources ----------------------------------------------------
+
+// orderPass seeds taint for aggregates built in nondeterministic order:
+// appends inside a map range, inside a sync.Map.Range callback, or of
+// channel-received values in a loop — unless a later statement in the
+// same block sorts the aggregate (the collect-then-sort idiom).
+func (a *detAnalysis) orderPass() {
+	p := a.f.Pkg
+	ast.Inspect(a.f.Decl.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			rest := block.List[i+1:]
+			switch st := stmt.(type) {
+			case *ast.RangeStmt:
+				if p.isMapType(st.X) {
+					a.taintAppends(st.Body, rest,
+						detSource{desc: "iteration order of map " + exprString(st.X)})
+				} else if a.isChanType(st.X) {
+					a.taintAppends(st.Body, rest,
+						detSource{desc: "goroutine completion order (range over channel " + exprString(st.X) + ")"})
+				} else {
+					a.taintRecvAppends(st.Body, rest)
+				}
+			case *ast.ForStmt:
+				a.taintRecvAppends(st.Body, rest)
+			case *ast.ExprStmt:
+				call, ok := st.X.(*ast.CallExpr)
+				if !ok || !a.isSyncMapRange(call) || len(call.Args) != 1 {
+					continue
+				}
+				if fl, ok := call.Args[0].(*ast.FuncLit); ok {
+					a.taintAppends(fl.Body, rest,
+						detSource{desc: "sync.Map.Range iteration order"})
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (a *detAnalysis) isChanType(e ast.Expr) bool {
+	info := a.f.Pkg.Info
+	if info == nil {
+		return false
+	}
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func (a *detAnalysis) isSyncMapRange(call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Range" {
+		return false
+	}
+	info := a.f.Pkg.Info
+	if info == nil {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	return ok && strings.Contains(s.Recv().String(), "sync.Map")
+}
+
+// taintAppends marks variables appended to inside body with src, unless
+// a later statement in rest sorts them.
+func (a *detAnalysis) taintAppends(body *ast.BlockStmt, rest []ast.Stmt, src detSource) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(call) || i >= len(as.Lhs) {
+				continue
+			}
+			target := rootIdent(as.Lhs[i])
+			if target == nil || sortedLater(rest, target.Name) {
+				continue
+			}
+			a.setTaint(target, src)
+		}
+		return true
+	})
+}
+
+// taintRecvAppends handles the completion-order hazard: inside a loop,
+// appending a value that came off a channel records arrival order, not
+// submission order.
+func (a *detAnalysis) taintRecvAppends(body *ast.BlockStmt, rest []ast.Stmt) {
+	// Variables assigned from a channel receive within this loop body.
+	recv := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			ue, ok := unparen(rhs).(*ast.UnaryExpr)
+			if !ok || ue.Op != token.ARROW || i >= len(as.Lhs) {
+				continue
+			}
+			if id, ok := unparen(as.Lhs[i]).(*ast.Ident); ok {
+				if obj := a.objOf(id); obj != nil {
+					recv[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	containsRecv := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.UnaryExpr:
+				if v.Op == token.ARROW {
+					found = true
+				}
+			case *ast.Ident:
+				if obj := a.objOf(v); obj != nil && recv[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(call) || i >= len(as.Lhs) || len(call.Args) < 2 {
+				continue
+			}
+			hazard := false
+			for _, arg := range call.Args[1:] {
+				if containsRecv(arg) {
+					hazard = true
+				}
+			}
+			if !hazard {
+				continue
+			}
+			target := rootIdent(as.Lhs[i])
+			if target == nil || sortedLater(rest, target.Name) {
+				continue
+			}
+			a.setTaint(target, detSource{desc: "goroutine completion order (channel receive in loop)"})
+		}
+		return true
+	})
+}
+
+func (a *detAnalysis) setTaint(id *ast.Ident, src detSource) bool {
+	obj := a.objOf(id)
+	if obj == nil || id.Name == "_" {
+		return false
+	}
+	if _, ok := a.taint[obj]; ok {
+		return false
+	}
+	a.taint[obj] = src
+	return true
+}
+
+// --- value flow -------------------------------------------------------
+
+// flowPass propagates taint through assignments and declarations once,
+// reporting whether anything new was tainted.
+func (a *detAnalysis) flowPass() bool {
+	changed := false
+	ast.Inspect(a.f.Decl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+				// x, y := f() — one tainted producer taints every LHS.
+				if src, ok := a.exprSource(st.Rhs[0]); ok {
+					for _, lhs := range st.Lhs {
+						changed = a.taintLHS(lhs, src) || changed
+					}
+				}
+				return true
+			}
+			for i := 0; i < len(st.Lhs) && i < len(st.Rhs); i++ {
+				if src, ok := a.exprSource(st.Rhs[i]); ok {
+					changed = a.taintLHS(st.Lhs[i], src) || changed
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range st.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, val := range vs.Values {
+					src, ok := a.exprSource(val)
+					if !ok {
+						continue
+					}
+					if len(vs.Names) == len(vs.Values) {
+						changed = a.setTaint(vs.Names[i], src) || changed
+					} else {
+						for _, name := range vs.Names {
+							changed = a.setTaint(name, src) || changed
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// taintLHS taints the variable underlying an assignment target; for
+// x.f = v and x[i] = v the whole of x becomes tainted (conservative).
+func (a *detAnalysis) taintLHS(e ast.Expr, src detSource) bool {
+	id := rootIdent(e)
+	if id == nil {
+		return false
+	}
+	return a.setTaint(id, src)
+}
+
+// exprSource reports whether evaluating e can yield a nondeterministic
+// value, and the first (source-order) reason why.
+func (a *detAnalysis) exprSource(e ast.Expr) (detSource, bool) {
+	var src detSource
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false // a closure's body is not this expression's value
+		case *ast.CallExpr:
+			if s, ok := a.callSource(v); ok {
+				src, found = s, true
+				return false
+			}
+		case *ast.Ident:
+			if obj := a.objOf(v); obj != nil {
+				if s, ok := a.taint[obj]; ok {
+					src, found = s, true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return src, found
+}
+
+// callSource classifies a call as a taint source: a direct wall-clock
+// or global-rand read, or a module function whose summary says its
+// return value is tainted.
+func (a *detAnalysis) callSource(call *ast.CallExpr) (detSource, bool) {
+	p, file := a.f.Pkg, a.f.File
+	if name, ok := p.pkgFuncCall(file, call, "time"); ok && wallClockFuncs[name] {
+		return detSource{desc: "time." + name + "()"}, true
+	}
+	for _, path := range []string{"math/rand", "math/rand/v2"} {
+		name, ok := p.pkgFuncCall(file, call, path)
+		if !ok || randConstructors[name] {
+			continue
+		}
+		if p.resolvesToFunc(call.Fun) || (!p.typeResolves(call.Fun) && randGlobalFuncs[name]) {
+			return detSource{desc: "global " + path + "." + name + "()"}, true
+		}
+	}
+	if callee := a.m.Callee(p, call); callee != nil {
+		if s := a.sums[callee]; s != nil && s.tainted {
+			return s.src.through(callee.Name()), true
+		}
+	}
+	return detSource{}, false
+}
+
+// --- sinks ------------------------------------------------------------
+
+// sinkPass finds where taint escapes the function: return statements
+// (feeding the summary, and a finding when the function is exported)
+// and stores into receiver fields or package-level variables.
+func (a *detAnalysis) sinkPass() {
+	p := a.f.Pkg
+	exported := ast.IsExported(a.f.Decl.Name.Name)
+
+	var named []types.Object
+	if res := a.f.Decl.Type.Results; res != nil {
+		for _, field := range res.List {
+			for _, id := range field.Names {
+				if obj := a.objOf(id); obj != nil {
+					named = append(named, obj)
+				}
+			}
+		}
+	}
+
+	markReturn := func(n ast.Node, src detSource) {
+		if !a.returnsTainted {
+			a.returnsTainted = true
+			a.returnSrc = src
+		}
+		if exported {
+			a.findings = append(a.findings, p.finding("detflow", n,
+				"nondeterministic value returned from exported %s in deterministic package %s: %s",
+				a.f.Name(), p.Rel, src))
+		}
+	}
+
+	ast.Inspect(a.f.Decl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false // returns inside literals are not f's returns
+		case *ast.ReturnStmt:
+			if len(st.Results) == 0 {
+				for _, obj := range named {
+					if src, ok := a.taint[obj]; ok {
+						markReturn(st, src)
+						break
+					}
+				}
+				return true
+			}
+			for _, res := range st.Results {
+				if src, ok := a.exprSource(res); ok {
+					markReturn(st, src)
+					break
+				}
+			}
+		case *ast.AssignStmt:
+			for i := range st.Lhs {
+				sel, ok := unparen(st.Lhs[i]).(*ast.SelectorExpr)
+				if !ok || !a.persistentTarget(sel) {
+					continue
+				}
+				j := i
+				if len(st.Rhs) == 1 {
+					j = 0
+				}
+				if j >= len(st.Rhs) {
+					continue
+				}
+				if src, ok := a.exprSource(st.Rhs[j]); ok {
+					a.findings = append(a.findings, p.finding("detflow", st,
+						"nondeterministic value stored in %s in deterministic package %s: %s",
+						exprString(sel), p.Rel, src))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// persistentTarget reports whether the selector writes state that
+// outlives the call: a field of the method receiver or a package-level
+// variable.
+func (a *detAnalysis) persistentTarget(sel *ast.SelectorExpr) bool {
+	root := rootIdent(sel)
+	if root == nil {
+		return false
+	}
+	obj := a.objOf(root)
+	if obj == nil {
+		return false
+	}
+	if recv := a.recvObj(); recv != nil && obj == recv {
+		return true
+	}
+	if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return true
+	}
+	return false
+}
+
+// recvObj returns the method receiver's object, nil for plain
+// functions.
+func (a *detAnalysis) recvObj() types.Object {
+	recv := a.f.Decl.Recv
+	if recv == nil || len(recv.List) == 0 || len(recv.List[0].Names) == 0 {
+		return nil
+	}
+	return a.objOf(recv.List[0].Names[0])
+}

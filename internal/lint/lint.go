@@ -21,6 +21,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
@@ -34,6 +35,9 @@ type Finding struct {
 	Line    int    `json:"line"`
 	Col     int    `json:"col"`
 	Message string `json:"message"`
+	// Doc is the one-line documentation of the check that produced the
+	// finding (filled by Analyze; surfaced in -json output).
+	Doc string `json:"doc,omitempty"`
 }
 
 // String renders the finding in the conventional file:line:col form.
@@ -67,7 +71,9 @@ type Package struct {
 	TypeErrors []error
 }
 
-// Check is one named analysis pass.
+// Check is one named analysis pass. Exactly one of Run and RunModule
+// is set: Run is a per-package pass; RunModule sees the whole module
+// at once (with its call graph) for interprocedural checks.
 type Check struct {
 	// Name is the identifier used by -checks and //lint:ignore.
 	Name string
@@ -75,6 +81,8 @@ type Check struct {
 	Doc string
 	// Run produces the check's findings for one package.
 	Run func(p *Package) []Finding
+	// RunModule produces the check's findings for the whole module.
+	RunModule func(m *Module) []Finding
 }
 
 // Checks returns every registered check in stable order.
@@ -86,6 +94,10 @@ func Checks() []Check {
 		checkFloatEq(),
 		checkNoPrint(),
 		checkGuardedBy(),
+		checkDetFlow(),
+		checkCtxFlow(),
+		checkLockOrder(),
+		checkAtomicMix(),
 	}
 }
 
@@ -131,21 +143,153 @@ func SelectChecks(spec string) ([]Check, error) {
 	return out, nil
 }
 
+// SuppressionStats summarizes the //lint:ignore directives seen by one
+// Analyze pass.
+type SuppressionStats struct {
+	// Directives is the total number of well-formed directives.
+	Directives int `json:"directives"`
+	// Used counts directives that suppressed at least one finding.
+	Used int `json:"used"`
+	// Unused counts auditable directives that suppressed nothing (each
+	// also produces an "unusedignore" finding).
+	Unused int `json:"unused"`
+}
+
+// Result is the full output of an Analyze pass.
+type Result struct {
+	Findings     []Finding
+	Suppressions SuppressionStats
+}
+
+// Docs for the engine-level pseudo-checks (they have no Check entry:
+// the engine itself produces them).
+const (
+	directiveDoc     = "every //lint:ignore directive must name a known check and carry a reason"
+	unusedIgnoreDoc  = "a //lint:ignore directive that suppresses nothing is stale and must be removed"
+	directiveCheck   = "lintdirective"
+	unusedIgnoreName = "unusedignore"
+)
+
 // Run applies the checks to every package, drops suppressed findings,
 // and returns the remainder sorted by file, line, and column.
 func Run(pkgs []*Package, checks []Check) []Finding {
+	return Analyze(pkgs, checks, nil).Findings
+}
+
+// Analyze runs the checks over the packages and returns findings plus
+// suppression statistics. Module-scope checks (RunModule) always see
+// every package — the call graph needs the whole module — but their
+// findings, like everything else, are reported only for packages
+// accepted by include (nil includes all). Suppression directives are
+// collected from included packages; auditable directives that suppress
+// nothing become "unusedignore" findings, so stale exemptions cannot
+// accumulate silently.
+func Analyze(pkgs []*Package, checks []Check, include func(*Package) bool) Result {
+	if include == nil {
+		include = func(*Package) bool { return true }
+	}
+	known := map[string]bool{"all": true, directiveCheck: true, unusedIgnoreName: true}
+	docs := map[string]string{directiveCheck: directiveDoc, unusedIgnoreName: unusedIgnoreDoc}
+	for _, c := range Checks() {
+		known[c.Name] = true
+		docs[c.Name] = c.Doc
+	}
+
 	var out []Finding
+	index := ignoreIndex{}
+	var directives []*directive
+	included := map[string]bool{} // package dir -> reported
 	for _, p := range pkgs {
-		ignores, bad := collectIgnores(p)
+		if !include(p) {
+			continue
+		}
+		included[p.Dir] = true
+		ds, bad := collectIgnores(p, known)
 		out = append(out, bad...)
-		for _, c := range checks {
+		directives = append(directives, ds...)
+		index.add(ds)
+	}
+
+	keep := func(f Finding) {
+		if index.suppresses(f) {
+			return
+		}
+		out = append(out, f)
+	}
+
+	needModule := false
+	for _, c := range checks {
+		if c.RunModule != nil {
+			needModule = true
+			continue
+		}
+		for _, p := range pkgs {
+			if !include(p) {
+				continue
+			}
 			for _, f := range c.Run(p) {
-				if ignores.suppresses(f) {
-					continue
-				}
-				out = append(out, f)
+				keep(f)
 			}
 		}
+	}
+	if needModule {
+		m := NewModule(pkgs)
+		dirOf := map[string]bool{} // file directory -> included
+		for _, p := range pkgs {
+			dirOf[p.Dir] = included[p.Dir]
+		}
+		for _, c := range checks {
+			if c.RunModule == nil {
+				continue
+			}
+			for _, f := range c.RunModule(m) {
+				if in, ok := dirOf[filepath.Dir(f.File)]; ok && !in {
+					continue
+				}
+				keep(f)
+			}
+		}
+	}
+
+	// Stale-suppression audit: a directive is auditable when every
+	// check it names ran in this pass (so `-checks floateq` does not
+	// condemn a norandglobal exemption); the "all" wildcard is audited
+	// only under the full registry.
+	res := Result{}
+	selected := map[string]bool{}
+	for _, c := range checks {
+		selected[c.Name] = true
+	}
+	fullRun := len(checks) == len(Checks())
+	for _, d := range directives {
+		res.Suppressions.Directives++
+		if d.used {
+			res.Suppressions.Used++
+			continue
+		}
+		auditable := true
+		for _, name := range d.names {
+			if name == "all" {
+				auditable = auditable && fullRun
+			} else {
+				auditable = auditable && selected[name]
+			}
+		}
+		if !auditable {
+			continue
+		}
+		res.Suppressions.Unused++
+		out = append(out, Finding{
+			Check:   unusedIgnoreName,
+			File:    d.file,
+			Line:    d.line,
+			Col:     d.col,
+			Message: fmt.Sprintf("//lint:ignore %s suppresses nothing: remove the stale exemption", strings.Join(d.names, ",")),
+		})
+	}
+
+	for i := range out {
+		out[i].Doc = docs[out[i].Check]
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -158,25 +302,51 @@ func Run(pkgs []*Package, checks []Check) []Finding {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
-	return out
+	res.Findings = out
+	return res
 }
 
-// ignoreSet indexes //lint:ignore directives by file and line.
-type ignoreSet map[string]map[int][]string // file -> line -> check names ("all" wildcard)
+// directive is one well-formed //lint:ignore, tracked for the stale-
+// suppression audit.
+type directive struct {
+	file      string
+	line, col int
+	names     []string
+	used      bool
+}
+
+// ignoreIndex locates directives by file and line.
+type ignoreIndex map[string]map[int][]*directive
+
+func (s ignoreIndex) add(ds []*directive) {
+	for _, d := range ds {
+		if s[d.file] == nil {
+			s[d.file] = map[int][]*directive{}
+		}
+		s[d.file][d.line] = append(s[d.file][d.line], d)
+	}
+}
 
 // suppresses reports whether a directive on the finding's line or the
-// line directly above names the finding's check.
-func (s ignoreSet) suppresses(f Finding) bool {
+// line directly above names the finding's check, marking the directive
+// used.
+func (s ignoreIndex) suppresses(f Finding) bool {
 	lines := s[f.File]
 	if lines == nil {
 		return false
 	}
 	for _, l := range []int{f.Line, f.Line - 1} {
-		for _, name := range lines[l] {
-			if name == "all" || name == f.Check {
-				return true
+		for _, d := range lines[l] {
+			for _, name := range d.names {
+				if name == "all" || name == f.Check {
+					d.used = true
+					return true
+				}
 			}
 		}
 	}
@@ -186,10 +356,11 @@ func (s ignoreSet) suppresses(f Finding) bool {
 const ignorePrefix = "//lint:ignore"
 
 // collectIgnores gathers the package's suppression directives. A
-// directive missing its mandatory reason is returned as a finding so
-// suppressions stay auditable.
-func collectIgnores(p *Package) (ignoreSet, []Finding) {
-	set := ignoreSet{}
+// directive missing its mandatory reason, or naming a check the
+// registry does not know, is returned as a finding so suppressions
+// stay auditable.
+func collectIgnores(p *Package, known map[string]bool) ([]*directive, []Finding) {
+	var ds []*directive
 	var bad []Finding
 	for _, file := range p.Files {
 		for _, cg := range file.Comments {
@@ -202,7 +373,7 @@ func collectIgnores(p *Package) (ignoreSet, []Finding) {
 				fields := strings.Fields(rest)
 				if len(fields) < 2 {
 					bad = append(bad, Finding{
-						Check:   "lintdirective",
+						Check:   directiveCheck,
 						File:    pos.Filename,
 						Line:    pos.Line,
 						Col:     pos.Column,
@@ -210,18 +381,30 @@ func collectIgnores(p *Package) (ignoreSet, []Finding) {
 					})
 					continue
 				}
-				if set[pos.Filename] == nil {
-					set[pos.Filename] = map[int][]string{}
-				}
+				d := &directive{file: pos.Filename, line: pos.Line, col: pos.Column}
 				for _, name := range strings.Split(fields[0], ",") {
-					if name = strings.TrimSpace(name); name != "" {
-						set[pos.Filename][pos.Line] = append(set[pos.Filename][pos.Line], name)
+					if name = strings.TrimSpace(name); name == "" {
+						continue
 					}
+					if !known[name] {
+						bad = append(bad, Finding{
+							Check:   directiveCheck,
+							File:    pos.Filename,
+							Line:    pos.Line,
+							Col:     pos.Column,
+							Message: fmt.Sprintf("//lint:ignore names unknown check %q", name),
+						})
+						continue
+					}
+					d.names = append(d.names, name)
+				}
+				if len(d.names) > 0 {
+					ds = append(ds, d)
 				}
 			}
 		}
 	}
-	return set, bad
+	return ds, bad
 }
 
 // --- shared helpers for checks ---

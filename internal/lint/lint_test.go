@@ -71,6 +71,10 @@ func TestFixtures(t *testing.T) {
 		{"floateq", "ignore.go", "internal/demo"},
 		{"noprint", "noprint.go", "internal/demo"},
 		{"guardedby", "guardedby.go", "internal/demo"},
+		{"detflow", "detflow.go", "internal/sim"},
+		{"ctxflow", "ctxflow.go", "internal/service"},
+		{"lockorder", "lockorder.go", "internal/demo"},
+		{"atomicmix", "atomicmix.go", "internal/demo"},
 	}
 	for _, c := range cases {
 		t.Run(c.file+"/"+c.check, func(t *testing.T) {

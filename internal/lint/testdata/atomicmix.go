@@ -1,0 +1,35 @@
+// Fixture for the atomicmix check.
+package demo
+
+import "sync/atomic"
+
+// Counter mixes access disciplines on n.
+type Counter struct {
+	n    int64
+	safe atomic.Int64
+}
+
+// Inc updates n atomically.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// Read races with Inc: a plain load of an atomically-written field.
+func (c *Counter) Read() int64 {
+	return c.n // want "accesses c.n plainly"
+}
+
+// Reset races the same way on the store side.
+func (c *Counter) Reset() {
+	c.n = 0 // want "accesses c.n plainly"
+}
+
+// SafeRead uses the typed atomic: exempt by construction.
+func (c *Counter) SafeRead() int64 {
+	return c.safe.Load()
+}
+
+// SafeBump likewise.
+func (c *Counter) SafeBump() {
+	c.safe.Add(1)
+}

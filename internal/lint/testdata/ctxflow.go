@@ -1,0 +1,62 @@
+// Fixture for the ctxflow check (loaded as if in internal/service, a
+// cancellation-scoped package).
+package service
+
+import (
+	"context"
+	"time"
+)
+
+// pause blocks directly and has no cancellation input.
+func pause() { // want "pause blocks on time.Sleep"
+	time.Sleep(time.Millisecond)
+}
+
+// Outer blocks only transitively, through pause.
+func Outer() { // want "time.Sleep via pause"
+	pause()
+}
+
+// OuterCtx has a context; it is used, so both rules pass.
+func OuterCtx(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Millisecond):
+	}
+}
+
+// Flush blocks on a data channel and cannot be cancelled.
+func Flush(done chan int) { // want "channel receive <-done"
+	<-done
+}
+
+// waitClosed takes a stop channel: that is a cancellation input.
+func waitClosed(stop <-chan struct{}) {
+	<-stop
+}
+
+// Drop receives a context and ignores it.
+func Drop(ctx context.Context, n int) int { // want "context parameter ctx of Drop is received but never used"
+	return n * 2
+}
+
+// TryPoll never blocks: the select has a default.
+func TryPoll(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// Spawn only blocks inside the spawned goroutine, which is the
+// goroutine's business, not Spawn's.
+func Spawn(ch chan int) {
+	go func() { ch <- 1 }()
+}
+
+// root mints a fresh context inside the service layer.
+func root() context.Context {
+	return context.Background() // want "plumb the caller's context instead"
+}

@@ -1,0 +1,83 @@
+// Fixture for the detflow check (loaded as if in internal/sim, a
+// deterministic package).
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// stamp is an unexported helper: not reported itself, but its summary
+// marks the return value as wall-clock tainted.
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Seed launders the clock through a helper; the interprocedural
+// summary still sees it.
+func Seed() int64 {
+	s := stamp()
+	return s // want "returned from exported Seed"
+}
+
+// Keys assembles map keys in iteration order without sorting.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out // want "iteration order of map m"
+}
+
+// SortedKeys repairs the order before returning: clean.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot observes sync.Map.Range order.
+func Snapshot(sm *sync.Map) []string {
+	var out []string
+	sm.Range(func(k, v any) bool {
+		out = append(out, k.(string))
+		return true
+	})
+	return out // want "sync.Map.Range iteration order"
+}
+
+// Gather records goroutine completion order.
+func Gather(ch chan int, n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, <-ch)
+	}
+	return out // want "completion order"
+}
+
+// Engine holds state the simulator reads back later.
+type Engine struct {
+	seed int64
+}
+
+// Reseed stores a wall-clock read into persistent state.
+func (e *Engine) Reseed() {
+	e.seed = time.Now().UnixNano() // want "stored in e.seed"
+}
+
+// Pick threads an explicit generator: clean.
+func Pick(r *rand.Rand, xs []int) int {
+	return xs[r.Intn(len(xs))]
+}
+
+// Jitter uses the global source through a chain of assignments.
+func Jitter() float64 {
+	v := rand.Float64()
+	w := v * 2
+	return w // want "global math/rand.Float64"
+}

@@ -1,0 +1,83 @@
+// Fixture for the lockorder check.
+package demo
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func work() bool { return true }
+
+// one acquires A.mu then B.mu: the canonical order.
+func one(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock-order cycle"
+	work()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// two acquires them in the opposite order, closing the cycle. The
+// cycle is reported once, at the earliest edge site (in one).
+func two(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	work()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// Guarded uses the defer idiom: no leak.
+func Guarded(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	work()
+}
+
+// Leak falls off the end with the mutex held.
+func Leak(a *A) { // want "can return while still holding demo.A.mu"
+	a.mu.Lock()
+	work()
+}
+
+// LeakIf forgets the unlock on the early-return path only.
+func LeakIf(a *A) bool {
+	a.mu.Lock()
+	if work() {
+		return false // want "still holding demo.A.mu"
+	}
+	a.mu.Unlock()
+	return true
+}
+
+// Twice re-acquires a mutex it already holds: self-deadlock.
+func Twice(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want "acquires demo.A.mu while already holding it"
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// lockB is a helper whose summary says it acquires B.mu.
+func lockB(b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	work()
+}
+
+// Reenter calls a helper that takes a lock the caller already holds.
+func Reenter(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lockB(b) // want "calls lockB while holding demo.B.mu"
+}
+
+// DeferClosure releases through a deferred closure: recognized.
+func DeferClosure(a *A) {
+	a.mu.Lock()
+	defer func() {
+		a.mu.Unlock()
+	}()
+	work()
+}

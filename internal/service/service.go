@@ -279,6 +279,12 @@ type Service struct {
 	// breaker-cooldown and retry-backoff sleeps.
 	stopCh   chan struct{}
 	stopOnce sync.Once
+	// runCtx is the root context every worker loop (and every per-batch
+	// deadline) descends from; a forced Shutdown cancels it so in-flight
+	// compiles and simulations abort instead of running to completion
+	// after the caller has given up.
+	runCtx    context.Context
+	runCancel context.CancelFunc
 
 	mu          sync.Mutex
 	cond        *sync.Cond         // signals queue/lifecycle changes; Wait called with mu held
@@ -385,6 +391,8 @@ func New(devices []*arch.Device, cfg Config) (*Service, error) {
 		accepting: true,
 	}
 	s.cond = sync.NewCond(&s.mu)
+	//lint:ignore ctxflow the service owns its workers' lifetime, so the run context is rooted here; Shutdown cancels it
+	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	// The cache's hooks bind the chaos sites (lookup outage → bypass,
 	// store outage → serve-but-skip-store) and the eviction counter.
 	// faultinject.Visit is nil-injector-safe, so production configs pay
@@ -426,7 +434,7 @@ func (s *Service) Start() {
 	s.mu.Unlock()
 	for _, w := range s.workers {
 		s.wg.Add(1)
-		go w.run()
+		go w.run(s.runCtx)
 	}
 }
 
@@ -558,6 +566,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.runCancel()
 		s.failRemaining("service shut down before execution")
 		return nil
 	case <-ctx.Done():
@@ -565,6 +574,10 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		s.forced = true
 		s.cond.Broadcast()
 		s.mu.Unlock()
+		// Cancel the run context so the current batch's compile/simulate
+		// aborts at its next deadline check instead of finishing a result
+		// nobody will read.
+		s.runCancel()
 		<-done
 		s.failRemaining("service shut down before execution")
 		return ctx.Err()

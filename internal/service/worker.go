@@ -109,20 +109,20 @@ func (w *worker) nextSeed() int64 {
 // it, repeat until the service drains (or is forced to stop). Panics
 // in either phase are recovered so one pathological batch can never
 // silence the backend.
-func (w *worker) run() {
+func (w *worker) run(ctx context.Context) {
 	defer w.svc.wg.Done()
 	for {
-		if !w.breakerWait() {
+		if !w.breakerWait(ctx) {
 			return
 		}
-		batch, exit := w.claimIsolated()
+		batch, exit := w.claimIsolated(ctx)
 		if exit {
 			return
 		}
 		if batch == nil {
 			continue // claim panic recovered; head job failed
 		}
-		w.executeIsolated(batch)
+		w.executeIsolated(ctx, batch)
 	}
 }
 
@@ -131,7 +131,7 @@ func (w *worker) run() {
 // the service shuts down. It returns false when the worker should
 // exit (forced stop). Draining bypasses the cooldown: the backend
 // probes immediately so shutdown is never delayed by an open breaker.
-func (w *worker) breakerWait() bool {
+func (w *worker) breakerWait(ctx context.Context) bool {
 	s := w.svc
 	for {
 		s.mu.Lock()
@@ -150,7 +150,7 @@ func (w *worker) breakerWait() bool {
 			return true
 		}
 		s.mu.Unlock()
-		sleepInterruptible(s.stopCh, wait)
+		sleepInterruptible(ctx, s.stopCh, wait)
 	}
 }
 
@@ -158,7 +158,7 @@ func (w *worker) breakerWait() bool {
 // batch (scheduler invariant violation, injected chaos) fails the
 // oldest fitting job — so the queue cannot livelock on a poison job —
 // and the loop continues. exit is true when the worker should stop.
-func (w *worker) claimIsolated() (batch []*job, exit bool) {
+func (w *worker) claimIsolated(ctx context.Context) (batch []*job, exit bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			w.svc.metrics.PanicsRecovered.Inc()
@@ -166,7 +166,7 @@ func (w *worker) claimIsolated() (batch []*job, exit bool) {
 			batch, exit = nil, false
 		}
 	}()
-	batch = w.claim()
+	batch = w.claim(ctx)
 	return batch, batch == nil
 }
 
@@ -175,7 +175,7 @@ func (w *worker) claimIsolated() (batch []*job, exit bool) {
 // from the queue. It returns nil when the worker should exit: the
 // service is draining and holds nothing assigned here, or a forced
 // stop was requested.
-func (w *worker) claim() []*job {
+func (w *worker) claim(ctx context.Context) []*job {
 	s := w.svc
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -221,7 +221,7 @@ func (w *worker) claim() []*job {
 	// scheduleSafe's recover) so an injected panic unwinds into
 	// claimIsolated and exercises the failHead path.
 	var batches []sched.Batch
-	err := s.cfg.Faults.Visit(context.Background(), faultinject.SiteSchedule)
+	err := s.cfg.Faults.Visit(ctx, faultinject.SiteSchedule)
 	if err == nil {
 		batches, err = w.scheduleSafe(sjobs, scfg)
 	}
@@ -331,7 +331,7 @@ func (w *worker) requeueFront(tail []*job) {
 // per-phase isolation fails the batch (in its current, possibly
 // fallback-shrunk form) with the recovered message, and the worker
 // loop stays alive.
-func (w *worker) executeIsolated(batch []*job) {
+func (w *worker) executeIsolated(ctx context.Context, batch []*job) {
 	cur := batch
 	defer func() {
 		if r := recover(); r != nil {
@@ -340,18 +340,18 @@ func (w *worker) executeIsolated(batch []*job) {
 			w.breakerFailure()
 		}
 	}()
-	w.execute(&cur)
+	w.execute(ctx, &cur)
 }
 
 // execute runs the batch, retrying transient failures with capped
 // deterministic backoff (base<<attempt, capped at RetryMaxDelay) and
 // feeding the circuit breaker. curp tracks the live batch: the
 // co-location fallback inside an attempt may shrink it.
-func (w *worker) execute(curp *[]*job) {
+func (w *worker) execute(ctx context.Context, curp *[]*job) {
 	s := w.svc
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		err := w.attempt(curp)
+		err := w.attempt(ctx, curp)
 		if err == nil {
 			w.breakerSuccess()
 			return
@@ -361,7 +361,7 @@ func (w *worker) execute(curp *[]*job) {
 			break
 		}
 		s.metrics.BatchRetries.Inc()
-		sleepInterruptible(s.stopCh, backoffDelay(s.cfg, attempt))
+		sleepInterruptible(ctx, s.stopCh, backoffDelay(s.cfg, attempt))
 	}
 	if errors.Is(lastErr, context.DeadlineExceeded) {
 		s.metrics.BatchTimeouts.Inc()
@@ -372,13 +372,13 @@ func (w *worker) execute(curp *[]*job) {
 }
 
 // attempt is one full compile+simulate pass over the live batch under
-// the per-batch deadline. On success it records results and returns
-// nil; any error leaves the batch claimed for the caller's
-// retry/fail decision.
-func (w *worker) attempt(curp *[]*job) error {
+// the per-batch deadline, which descends from the service's run
+// context so a forced shutdown cancels the attempt mid-flight. On
+// success it records results and returns nil; any error leaves the
+// batch claimed for the caller's retry/fail decision.
+func (w *worker) attempt(ctx context.Context, curp *[]*job) error {
 	s := w.svc
 	batch := *curp
-	ctx := context.Background()
 	if s.cfg.BatchTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.BatchTimeout)
@@ -680,9 +680,9 @@ func backoffDelay(cfg Config, attempt int) time.Duration {
 	return d
 }
 
-// sleepInterruptible sleeps for d or until stop closes, whichever
-// comes first.
-func sleepInterruptible(stop <-chan struct{}, d time.Duration) {
+// sleepInterruptible sleeps for d or until stop closes or ctx is
+// cancelled, whichever comes first.
+func sleepInterruptible(ctx context.Context, stop <-chan struct{}, d time.Duration) {
 	if d <= 0 {
 		return
 	}
@@ -691,6 +691,7 @@ func sleepInterruptible(stop <-chan struct{}, d time.Duration) {
 	select {
 	case <-t.C:
 	case <-stop:
+	case <-ctx.Done():
 	}
 }
 
