@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json test race chaos bench bench-json fuzz-smoke cover experiments examples clean
+.PHONY: all build vet lint lint-json test race chaos bench bench-json bench-parallel-json bench-compare fuzz-smoke cover experiments examples clean
 
 all: build test
 
@@ -62,22 +62,41 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDeviceSpec -fuzztime 10s ./internal/arch
 
 # Machine-readable benchmark records: the sequential-vs-parallel
-# Simulate micro-benches and the Table 2 compile pipeline go to
+# Simulate micro-benches, the packed-vs-boolean tableau pair, the
+# SABRE/X-SWAP routing benches, and the Table 2 compile pipeline go to
 # BENCH_parallel.json; the cold-vs-warm compile-cache pair goes to
 # BENCH_cache.json with a derived warm_speedup ratio; the 1-vs-4-chip
 # fleet dispatch sweep (throughput and p99 wait per policy) goes to
 # BENCH_fleet.json with a derived scale-out ratio.
-bench-json:
+BENCH_PARALLEL ?= BENCH_parallel.json
+bench-parallel-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimulate(Clifford)?(Sequential|Parallel)$$' -benchtime 3x ./internal/sim \
-		| $(GO) run ./cmd/benchjson -o BENCH_parallel.json -label simulate
+		| $(GO) run ./cmd/benchjson -o $(BENCH_PARALLEL) -label simulate
+	$(GO) test -run '^$$' -bench 'Benchmark(PackedVsBooleanTableau|TableauMeasureHeavy)/' -benchtime 10x ./internal/sim \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_PARALLEL) -label tableau -append \
+			-ratio packed_speedup=PackedVsBooleanTableau/boolean/PackedVsBooleanTableau/packed
+	$(GO) test -run '^$$' -bench 'BenchmarkRoute(SABRE|XSWAP)$$' -benchtime 50x . \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_PARALLEL) -label route -append
 	$(GO) test -run '^$$' -bench 'BenchmarkTable2$$' -benchtime 1x . \
-		| $(GO) run ./cmd/benchjson -o BENCH_parallel.json -label table2 -append
+		| $(GO) run ./cmd/benchjson -o $(BENCH_PARALLEL) -label table2 -append
+
+bench-json: bench-parallel-json
 	$(GO) test -run '^$$' -bench 'BenchmarkCacheCompile(Cold|Warm)$$' -benchtime 20x . \
 		| $(GO) run ./cmd/benchjson -o BENCH_cache.json -label cache \
 			-ratio warm_speedup=CacheCompileCold/CacheCompileWarm
 	$(GO) test -run '^$$' -bench 'BenchmarkFleet(1|4)Chip' -benchtime 3x ./internal/service \
 		| $(GO) run ./cmd/benchjson -o BENCH_fleet.json -label fleet \
 			-ratio scaleout_speedup=Fleet1ChipBalanced/Fleet4ChipBalanced
+
+# Benchmark-regression gate: regenerate the parallel/route benches into
+# a scratch file and compare them against the committed baseline.
+# Fails (exit 1) when any benchmark slowed past the threshold; the
+# scratch file is kept on failure for inspection.
+BENCH_THRESHOLD ?= 1.6
+bench-compare:
+	$(MAKE) bench-parallel-json BENCH_PARALLEL=BENCH_parallel.new.json
+	$(GO) run ./cmd/benchjson -compare -threshold $(BENCH_THRESHOLD) BENCH_parallel.json BENCH_parallel.new.json
+	rm -f BENCH_parallel.new.json
 
 cover:
 	$(GO) test -cover ./...

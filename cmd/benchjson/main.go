@@ -57,38 +57,41 @@ type Group struct {
 
 // deriveRatio evaluates a "name=Num/Den" spec against the parsed
 // benchmarks (names as emitted, without the Benchmark prefix or -procs
-// suffix) and appends the derived entry to the group.
+// suffix) and appends the derived entry to the group. Because subtest
+// names themselves contain "/" (e.g. "PackedVsBooleanTableau/packed"),
+// every split position is tried until both sides resolve to benchmarks
+// from this run.
 func deriveRatio(g *Group, spec string) error {
 	name, expr, ok := strings.Cut(spec, "=")
-	if !ok {
+	if !ok || !strings.Contains(expr, "/") {
 		return fmt.Errorf("-ratio %q: want name=Numerator/Denominator", spec)
 	}
-	num, den, ok := strings.Cut(expr, "/")
-	if !ok {
-		return fmt.Errorf("-ratio %q: want name=Numerator/Denominator", spec)
-	}
-	find := func(bench string) (float64, error) {
+	find := func(bench string) (float64, bool) {
 		for _, b := range g.Benchmarks {
 			if b.Name == bench {
-				return b.NsPerOp, nil
+				return b.NsPerOp, true
 			}
 		}
-		return 0, fmt.Errorf("-ratio %q: benchmark %q not in this run", spec, bench)
+		return 0, false
 	}
-	nv, err := find(num)
-	if err != nil {
-		return err
+	for i := 0; i < len(expr); i++ {
+		if expr[i] != '/' {
+			continue
+		}
+		num, den := expr[:i], expr[i+1:]
+		nv, nok := find(num)
+		dv, dok := find(den)
+		if !nok || !dok {
+			continue
+		}
+		//lint:ignore floateq guarding literal division by zero, not comparing measurements
+		if dv == 0 {
+			return fmt.Errorf("-ratio %q: denominator %q has zero ns/op", spec, den)
+		}
+		g.Ratios = append(g.Ratios, Ratio{Name: name, Numerator: num, Denominator: den, Value: nv / dv})
+		return nil
 	}
-	dv, err := find(den)
-	if err != nil {
-		return err
-	}
-	//lint:ignore floateq guarding literal division by zero, not comparing measurements
-	if dv == 0 {
-		return fmt.Errorf("-ratio %q: denominator %q has zero ns/op", spec, den)
-	}
-	g.Ratios = append(g.Ratios, Ratio{Name: name, Numerator: num, Denominator: den, Value: nv / dv})
-	return nil
+	return fmt.Errorf("-ratio %q: no split of %q names two benchmarks in this run", spec, expr)
 }
 
 // Document is the whole JSON file: one group per bench invocation.
@@ -199,6 +202,97 @@ func run(in io.Reader, out string, label string, appendMode bool, ratios []strin
 	return os.WriteFile(out, append(data, '\n'), 0o644)
 }
 
+// benchKey identifies one benchmark across documents: group label plus
+// the bench name and GOMAXPROCS suffix it ran under.
+type benchKey struct {
+	label string
+	name  string
+	procs int
+}
+
+func loadDoc(path string) (Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Document{}, err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return Document{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// fmtNs renders an ns/op value in a human unit.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3gs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3gms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.3gus", ns/1e3)
+	default:
+		return fmt.Sprintf("%.3gns", ns)
+	}
+}
+
+// compareDocs prints one line per benchmark with the new/old ns-per-op
+// ratio and returns the number of regressions — benchmarks whose ratio
+// exceeds threshold. Output follows the new document's group and bench
+// order (then the old document's order for removed entries), so the
+// report is deterministic. Benchmarks are matched by group label, name
+// and procs; unmatched entries are reported as added/removed, never as
+// failures.
+func compareDocs(w io.Writer, oldDoc, newDoc Document, threshold float64) int {
+	oldIdx := map[benchKey]Benchmark{}
+	for _, g := range oldDoc.Groups {
+		for _, b := range g.Benchmarks {
+			oldIdx[benchKey{g.Label, b.Name, b.Procs}] = b
+		}
+	}
+	matched := map[benchKey]bool{}
+	compared, regressions, added := 0, 0, 0
+	for _, g := range newDoc.Groups {
+		for _, b := range g.Benchmarks {
+			k := benchKey{g.Label, b.Name, b.Procs}
+			ob, ok := oldIdx[k]
+			if !ok {
+				added++
+				fmt.Fprintf(w, "added      %s/%s: %s\n", g.Label, b.Name, fmtNs(b.NsPerOp))
+				continue
+			}
+			matched[k] = true
+			if ob.NsPerOp <= 0 {
+				fmt.Fprintf(w, "skipped    %s/%s: old ns/op is not positive\n", g.Label, b.Name)
+				continue
+			}
+			compared++
+			ratio := b.NsPerOp / ob.NsPerOp
+			status := "ok        "
+			switch {
+			case ratio > threshold:
+				status = "REGRESSION"
+				regressions++
+			case ratio < 1/threshold:
+				status = "improved  "
+			}
+			fmt.Fprintf(w, "%s %s/%s: %s -> %s (x%.3f)\n", status, g.Label, b.Name, fmtNs(ob.NsPerOp), fmtNs(b.NsPerOp), ratio)
+		}
+	}
+	removed := 0
+	for _, g := range oldDoc.Groups {
+		for _, b := range g.Benchmarks {
+			if !matched[benchKey{g.Label, b.Name, b.Procs}] {
+				removed++
+				fmt.Fprintf(w, "removed    %s/%s\n", g.Label, b.Name)
+			}
+		}
+	}
+	fmt.Fprintf(w, "%d compared, %d regressions (threshold x%.2f), %d added, %d removed\n",
+		compared, regressions, threshold, added, removed)
+	return regressions
+}
+
 // ratioFlags collects repeated -ratio specs.
 type ratioFlags []string
 
@@ -209,9 +303,36 @@ func main() {
 	out := flag.String("o", "BENCH.json", "output JSON file")
 	label := flag.String("label", "bench", "label for this benchmark group")
 	appendMode := flag.Bool("append", false, "merge into an existing output file instead of overwriting")
+	compareMode := flag.Bool("compare", false, "compare two benchmark JSON files (old new) instead of parsing stdin; exits 1 on regression")
+	threshold := flag.Float64("threshold", 1.25, "-compare regression threshold: fail when new/old ns-per-op exceeds this factor")
 	var ratios ratioFlags
 	flag.Var(&ratios, "ratio", "derived speedup entry name=Numerator/Denominator (repeatable; names without the Benchmark prefix)")
 	flag.Parse()
+	if *compareMode {
+		args := flag.Args()
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare wants exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		if *threshold <= 1 {
+			fmt.Fprintf(os.Stderr, "benchjson: -threshold %v must be > 1\n", *threshold)
+			os.Exit(2)
+		}
+		oldDoc, err := loadDoc(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		newDoc, err := loadDoc(args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if compareDocs(os.Stdout, oldDoc, newDoc, *threshold) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdin, *out, *label, *appendMode, ratios); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

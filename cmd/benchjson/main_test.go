@@ -137,6 +137,90 @@ func TestRunRatioErrors(t *testing.T) {
 	}
 }
 
+// TestRunRatioSubtestNames: subtest benchmark names contain "/", so
+// the Num/Den split must try each position.
+func TestRunRatioSubtestNames(t *testing.T) {
+	const subtestOutput = `goos: linux
+BenchmarkPackedVsBooleanTableau/boolean-8   100   900000 ns/op
+BenchmarkPackedVsBooleanTableau/packed-8   1000    90000 ns/op
+PASS
+`
+	out := filepath.Join(t.TempDir(), "bench.json")
+	specs := []string{"packed_speedup=PackedVsBooleanTableau/boolean/PackedVsBooleanTableau/packed"}
+	if err := run(strings.NewReader(subtestOutput), out, "tableau", false, specs); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	rs := doc.Groups[0].Ratios
+	if len(rs) != 1 {
+		t.Fatalf("got %d ratios, want 1: %+v", len(rs), rs)
+	}
+	r := rs[0]
+	if r.Numerator != "PackedVsBooleanTableau/boolean" || r.Denominator != "PackedVsBooleanTableau/packed" {
+		t.Fatalf("bad split: %+v", r)
+	}
+	if r.Value != 10 {
+		t.Fatalf("ratio value %v, want 10", r.Value)
+	}
+}
+
+func TestCompareDocsGolden(t *testing.T) {
+	oldDoc, err := loadDoc(filepath.Join("testdata", "compare_old.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newDoc, err := loadDoc(filepath.Join("testdata", "compare_new.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	regressions := compareDocs(&buf, oldDoc, newDoc, 1.25)
+	if regressions != 1 {
+		t.Fatalf("got %d regressions, want 1 (SimulateCliffordParallel)", regressions)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "compare_golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != string(want) {
+		t.Fatalf("compare output differs from golden:\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
+	}
+}
+
+// TestCompareDocsThreshold: the regression verdict must follow the
+// configured threshold, and identical documents never regress.
+func TestCompareDocsThreshold(t *testing.T) {
+	oldDoc, err := loadDoc(filepath.Join("testdata", "compare_old.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newDoc, err := loadDoc(filepath.Join("testdata", "compare_new.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	// At a 1.5x threshold the 1.404x Clifford slowdown passes.
+	if got := compareDocs(&buf, oldDoc, newDoc, 1.5); got != 0 {
+		t.Fatalf("threshold 1.5: got %d regressions, want 0", got)
+	}
+	buf.Reset()
+	// At 1.01x both the Clifford slowdown regresses; improvements never do.
+	if got := compareDocs(&buf, oldDoc, newDoc, 1.01); got != 1 {
+		t.Fatalf("threshold 1.01: got %d regressions, want 1", got)
+	}
+	buf.Reset()
+	if got := compareDocs(&buf, oldDoc, oldDoc, 1.01); got != 0 {
+		t.Fatalf("self-compare: got %d regressions, want 0", got)
+	}
+}
+
 func TestRunRejectsEmptyInput(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	if err := run(strings.NewReader("PASS\n"), out, "x", false, nil); err == nil {

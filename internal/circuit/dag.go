@@ -158,6 +158,21 @@ func (s *State) FrontTwoQubit() []int {
 	return out
 }
 
+// AppendFrontTwoQubit appends the front-layer two-qubit gate indices to
+// dst in ascending order and returns the extended slice — the
+// allocation-free form of FrontTwoQubit for callers that reuse a
+// scratch buffer across queries.
+func (s *State) AppendFrontTwoQubit(dst []int) []int {
+	start := len(dst)
+	for i := range s.front {
+		if s.dag.Circ.Gates[i].IsTwoQubit() {
+			dst = append(dst, i)
+		}
+	}
+	sort.Ints(dst[start:])
+	return dst
+}
+
 // Execute marks gate i as done, updating the front layer. It panics if
 // i is not currently in the front layer (dependency violation).
 func (s *State) Execute(i int) {

@@ -1,0 +1,195 @@
+package router
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/nisqbench"
+)
+
+// testRun builds a mid-route run over two co-located programs and
+// drains the compliant prefix so the front layers hold blocked gates.
+func testRun(tb testing.TB, opts Options) *run {
+	tb.Helper()
+	d := arch.IBMQ16(0)
+	progs := []*circuit.Circuit{nisqbench.MustGet("bv_n3"), nisqbench.MustGet("3_17_13")}
+	r, err := newRun(d, progs, [][]int{{0, 1, 2}, {5, 6, 7}}, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r.executeCompliant()
+	return r
+}
+
+// freshBlockedFront recomputes what blockedFront must return, bypassing
+// the cache — the oracle for the invalidation tests.
+func freshBlockedFront(r *run, p *progCtx) []int {
+	var out []int
+	for _, gi := range p.state.FrontTwoQubit() {
+		g := p.circ.Gates[gi]
+		a, b := p.l2p[g.Qubits[0]], p.l2p[g.Qubits[1]]
+		if !r.d.Coupling.HasEdge(a, b) {
+			out = append(out, gi)
+		}
+	}
+	return out
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBlockedFrontCacheTracksMutations walks a real routing run and, at
+// every step, checks the cached blocked front against a fresh
+// recomputation — across executeCompliant drains and SWAP applications,
+// the two invalidation sources.
+func TestBlockedFrontCacheTracksMutations(t *testing.T) {
+	for _, opts := range []Options{DefaultOptions(), XSWAPOptions()} {
+		r := testRun(t, opts)
+		hops := r.d.Hops()
+		for step := 0; step < 60; step++ {
+			for _, p := range r.progs {
+				if got, want := r.blockedFront(p), freshBlockedFront(r, p); !sameInts(got, want) {
+					t.Fatalf("step %d: cached blocked front %v, fresh %v", step, got, want)
+				}
+			}
+			done := true
+			for _, p := range r.progs {
+				if !p.state.Done() {
+					done = false
+				}
+			}
+			if done {
+				break
+			}
+			cands := r.swapCandidates()
+			if len(cands) == 0 {
+				if err := r.forceProgress(hops); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				r.applySwap(r.pickSwap(cands, hops), hops)
+			}
+			r.executeCompliant()
+		}
+	}
+}
+
+// TestRestrictedHopsMemo checks both memo behaviors: a repeat call with
+// unchanged ownership returns the cached matrix, and an ownership
+// change produces the same matrix a fresh computation would.
+func TestRestrictedHopsMemo(t *testing.T) {
+	r := testRun(t, XSWAPOptions())
+	first := r.restrictedHops(0)
+	if second := r.restrictedHops(0); &second[0] != &first[0] {
+		t.Fatal("unchanged ownership recomputed the restricted-hops matrix")
+	}
+	fresh := func(p int) [][]int {
+		allowed := make([]bool, r.d.NumQubits())
+		for q := range allowed {
+			allowed[q] = r.owner[q] == -1 || r.owner[q] == p
+		}
+		return r.d.Coupling.RestrictedHops(allowed)
+	}
+	if !reflect.DeepEqual(first, fresh(0)) {
+		t.Fatal("memoized restricted hops differ from a fresh computation")
+	}
+	// Move a program boundary: swap one of program 0's qubits with a
+	// free neighbor, which changes the allowed mask for both programs.
+	var moved bool
+	for _, nb := range r.d.Coupling.Neighbors(r.progs[0].l2p[0]) {
+		if r.owner[nb] == -1 {
+			a, b := r.progs[0].l2p[0], nb
+			if a > b {
+				a, b = b, a
+			}
+			r.applySwap(swapCandidate{a: a, b: b, trigger: 0}, r.d.Hops())
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Skip("no free neighbor to move a program boundary")
+	}
+	for p := range r.progs {
+		if got, want := r.restrictedHops(p), fresh(p); !reflect.DeepEqual(got, want) {
+			t.Fatalf("program %d: post-swap restricted hops differ from fresh computation", p)
+		}
+	}
+}
+
+// TestSwapCandidatesAllocs is the router-side allocation guard: once
+// the per-step scratch is warm, collecting SWAP candidates must not
+// allocate.
+func TestSwapCandidatesAllocs(t *testing.T) {
+	for _, opts := range []Options{DefaultOptions(), XSWAPOptions()} {
+		r := testRun(t, opts)
+		r.swapCandidates() // warm the scratch buffers
+		allocs := testing.AllocsPerRun(50, func() {
+			p := r.progs[0]
+			p.fbOK = false // force the front recomputation too
+			r.swapCandidates()
+		})
+		if opts.CriticalGatesOnly {
+			// CriticalGates itself allocates its result; allow it but
+			// nothing unbounded.
+			if allocs > 8 {
+				t.Fatalf("critical-gates candidate step allocates %.1f per run, want <= 8", allocs)
+			}
+		} else if allocs > 0 {
+			t.Fatalf("candidate step allocates %.1f per run, want 0", allocs)
+		}
+	}
+}
+
+// TestSwapCandidatesMatchUncached pins the scratch rewrite against the
+// original map-and-sort implementation.
+func TestSwapCandidatesMatchUncached(t *testing.T) {
+	for _, opts := range []Options{DefaultOptions(), XSWAPOptions()} {
+		r := testRun(t, opts)
+		got := append([]swapCandidate(nil), r.swapCandidates()...)
+
+		seen := map[[2]int]bool{}
+		var want []swapCandidate
+		for _, p := range r.progs {
+			for _, gi := range r.candidateGates(p) {
+				g := p.circ.Gates[gi]
+				for _, lq := range g.Qubits {
+					phys := p.l2p[lq]
+					for _, nb := range r.d.Coupling.Neighbors(phys) {
+						if !r.swapAllowed(p.idx, phys, nb) {
+							continue
+						}
+						key := [2]int{phys, nb}
+						if key[0] > key[1] {
+							key[0], key[1] = key[1], key[0]
+						}
+						if seen[key] {
+							continue
+						}
+						seen[key] = true
+						want = append(want, swapCandidate{a: key[0], b: key[1], trigger: p.idx})
+					}
+				}
+			}
+		}
+		for i := 1; i < len(want); i++ {
+			for j := i; j > 0 && (want[j].a < want[j-1].a || (want[j].a == want[j-1].a && want[j].b < want[j-1].b)); j-- {
+				want[j], want[j-1] = want[j-1], want[j]
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("interProgram=%v: scratch candidates %v differ from reference %v", opts.InterProgram, got, want)
+		}
+	}
+}

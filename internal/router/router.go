@@ -283,6 +283,39 @@ func (s *Schedule) Validate(progs []*circuit.Circuit, initial [][]int) error {
 // logical qubit l). Regions must be disjoint; every physical qubit not
 // in any mapping is free. It returns the complete schedule.
 func Route(d *arch.Device, progs []*circuit.Circuit, initial [][]int, opts Options) (*Schedule, error) {
+	r, err := newRun(d, progs, initial, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.route(); err != nil {
+		return nil, err
+	}
+	r.sched.FinalMapping = make([][]int, len(progs))
+	for p, pr := range r.progs {
+		r.sched.FinalMapping[p] = append([]int(nil), pr.l2p...)
+	}
+	// Measurements are deferred to the end of the co-located schedule
+	// (a program cannot be measured while others still run, §III-C),
+	// and later SWAPs — including other programs' inter-program SWAPs —
+	// may move an already-"measured" qubit. Rewrite every measurement
+	// to the qubit's final physical position.
+	for i := range r.sched.Ops {
+		op := &r.sched.Ops[i]
+		if op.Gate.IsMeasure() && op.Program >= 0 {
+			lq := progs[op.Program].Gates[op.GateIndex].Qubits[0]
+			op.Gate = circuit.Gate{Name: circuit.GateMeasure, Qubits: []int{r.progs[op.Program].l2p[lq]}}
+		}
+	}
+	for i := range r.sched.Measurements {
+		m := &r.sched.Measurements[i]
+		m.Phys = r.progs[m.Program].l2p[m.Logical]
+	}
+	return r.sched, nil
+}
+
+// newRun validates the inputs and builds the routing state Route drives
+// to completion (split out so tests can step the loop manually).
+func newRun(d *arch.Device, progs []*circuit.Circuit, initial [][]int, opts Options) (*run, error) {
 	if len(progs) != len(initial) {
 		return nil, fmt.Errorf("router: %d programs but %d mappings", len(progs), len(initial))
 	}
@@ -326,30 +359,7 @@ func Route(d *arch.Device, progs []*circuit.Circuit, initial [][]int, opts Optio
 			return nil, fmt.Errorf("router: program %d: %w", p, err)
 		}
 	}
-	if err := r.route(); err != nil {
-		return nil, err
-	}
-	r.sched.FinalMapping = make([][]int, len(progs))
-	for p, pr := range r.progs {
-		r.sched.FinalMapping[p] = append([]int(nil), pr.l2p...)
-	}
-	// Measurements are deferred to the end of the co-located schedule
-	// (a program cannot be measured while others still run, §III-C),
-	// and later SWAPs — including other programs' inter-program SWAPs —
-	// may move an already-"measured" qubit. Rewrite every measurement
-	// to the qubit's final physical position.
-	for i := range r.sched.Ops {
-		op := &r.sched.Ops[i]
-		if op.Gate.IsMeasure() && op.Program >= 0 {
-			lq := progs[op.Program].Gates[op.GateIndex].Qubits[0]
-			op.Gate = circuit.Gate{Name: circuit.GateMeasure, Qubits: []int{r.progs[op.Program].l2p[lq]}}
-		}
-	}
-	for i := range r.sched.Measurements {
-		m := &r.sched.Measurements[i]
-		m.Phys = r.progs[m.Program].l2p[m.Logical]
-	}
-	return r.sched, nil
+	return r, nil
 }
 
 // measuresAreTerminal checks that no gate touches a qubit after that
@@ -378,6 +388,22 @@ type progCtx struct {
 	circ  *circuit.Circuit
 	state *circuit.State
 	l2p   []int
+	// Blocked-front cache: fb holds the blocked front-layer two-qubit
+	// gates, valid while fbOK. It is invalidated whenever the front
+	// layer advances (run.exec) or the program's mapping moves
+	// (applySwap); frontBuf is the scratch for the DAG front query.
+	// Routing asks for the blocked front several times per SWAP step
+	// (bridges, candidates, scoring) — the cache makes all but the
+	// first ask free.
+	fb       []int
+	fbOK     bool
+	frontBuf []int
+	// Restricted-hops memo (Equation 2's D'_p): rhops is the all-pairs
+	// BFS result for ownership mask rhAllowed. The mask only changes
+	// when a SWAP moves a program boundary, so most pickSwap calls
+	// reuse the matrix instead of redoing n BFS traversals.
+	rhAllowed []bool
+	rhops     [][]int
 }
 
 type run struct {
@@ -390,6 +416,25 @@ type run struct {
 	physLog []int // phys -> logical within owner or -1
 	decay   []float64
 	nswaps  int
+	// Per-step scratch (see DESIGN.md, "Hot-path memory discipline"):
+	// the candidate/scoring loop runs once per inserted SWAP, so its
+	// working sets are reused instead of reallocated.
+	allowedBuf []bool          // restrictedHops mask scratch
+	seenEdge   []bool          // swapCandidates dedup, indexed a*n+b
+	seenKeys   []int           // touched seenEdge entries to clear
+	candBuf    []swapCandidate // swapCandidates output buffer
+	critBuf    []int           // candidateGates critical-subset buffer
+	snapsBuf   []progSnapshot  // pickSwap per-program snapshots
+	bestBuf    []swapCandidate // pickSwap tied-best buffer
+}
+
+// exec advances program p past gate gi and invalidates its cached
+// blocked front. Every front-layer Execute in the routing loop must go
+// through here — a stale front cache would silently change SWAP
+// candidates.
+func (r *run) exec(p *progCtx, gi int) {
+	p.state.Execute(gi)
+	p.fbOK = false
 }
 
 func (r *run) route() error {
@@ -449,7 +494,7 @@ func (r *run) executeCompliant() bool {
 				g := p.circ.Gates[gi]
 				switch {
 				case g.IsBarrier():
-					p.state.Execute(gi)
+					r.exec(p, gi)
 					progress = true
 				case g.IsMeasure():
 					phys := p.l2p[g.Qubits[0]]
@@ -457,17 +502,17 @@ func (r *run) executeCompliant() bool {
 					r.sched.Measurements = append(r.sched.Measurements, Measurement{
 						Program: p.idx, Logical: g.Qubits[0], Phys: phys,
 					})
-					p.state.Execute(gi)
+					r.exec(p, gi)
 					progress = true
 				case !g.IsTwoQubit():
 					r.emit(p, gi, g.Remap(func(l int) int { return p.l2p[l] }))
-					p.state.Execute(gi)
+					r.exec(p, gi)
 					progress = true
 				default:
 					a, b := p.l2p[g.Qubits[0]], p.l2p[g.Qubits[1]]
 					if r.d.Coupling.HasEdge(a, b) {
 						r.emit(p, gi, g.Remap(func(l int) int { return p.l2p[l] }))
-						p.state.Execute(gi)
+						r.exec(p, gi)
 						progress = true
 					}
 				}
@@ -517,7 +562,7 @@ func (r *run) tryBridges(hops [][]int) bool {
 				})
 			}
 			r.sched.BridgeCount++
-			p.state.Execute(gi)
+			r.exec(p, gi)
 			any = true
 		}
 	}
@@ -573,10 +618,16 @@ type swapCandidate struct {
 
 // swapCandidates collects the SWAPs associated with the qubits of the
 // candidate gates (critical gates when enabled and present, otherwise
-// all blocked front gates), filtered by the inter-program policy.
+// all blocked front gates), filtered by the inter-program policy. The
+// dedup set and output list live on the run and are reused every step;
+// the returned slice is valid until the next call.
 func (r *run) swapCandidates() []swapCandidate {
-	seen := map[[2]int]bool{}
-	var out []swapCandidate
+	n := r.d.NumQubits()
+	if r.seenEdge == nil {
+		r.seenEdge = make([]bool, n*n)
+	}
+	out := r.candBuf[:0]
+	r.seenKeys = r.seenKeys[:0]
 	for _, p := range r.progs {
 		gates := r.candidateGates(p)
 		for _, gi := range gates {
@@ -587,25 +638,33 @@ func (r *run) swapCandidates() []swapCandidate {
 					if !r.swapAllowed(p.idx, phys, nb) {
 						continue
 					}
-					key := [2]int{phys, nb}
-					if key[0] > key[1] {
-						key[0], key[1] = key[1], key[0]
+					a, b := phys, nb
+					if a > b {
+						a, b = b, a
 					}
-					if seen[key] {
+					key := a*n + b
+					if r.seenEdge[key] {
 						continue
 					}
-					seen[key] = true
-					out = append(out, swapCandidate{a: key[0], b: key[1], trigger: p.idx})
+					r.seenEdge[key] = true
+					r.seenKeys = append(r.seenKeys, key)
+					out = append(out, swapCandidate{a: a, b: b, trigger: p.idx})
 				}
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].a != out[j].a {
-			return out[i].a < out[j].a
+	for _, key := range r.seenKeys {
+		r.seenEdge[key] = false
+	}
+	// Candidate edges are unique, so insertion sort by (a, b) yields the
+	// same order sort.Slice did, without its per-call allocations; lists
+	// are a handful of edges long.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && (out[j].a < out[j-1].a || (out[j].a == out[j-1].a && out[j].b < out[j-1].b)); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
 		}
-		return out[i].b < out[j].b
-	})
+	}
+	r.candBuf = out
 	return out
 }
 
@@ -617,16 +676,20 @@ func (r *run) candidateGates(p *progCtx) []int {
 	if !r.opts.CriticalGatesOnly {
 		return front
 	}
-	var crit []int
-	critSet := map[int]bool{}
-	for _, gi := range p.state.CriticalGates() {
-		critSet[gi] = true
-	}
+	// Both lists are sorted ascending, so the intersection is a linear
+	// merge into the reusable critical-subset buffer.
+	crit := r.critBuf[:0]
+	cg := p.state.CriticalGates()
+	i := 0
 	for _, gi := range front {
-		if critSet[gi] {
+		for i < len(cg) && cg[i] < gi {
+			i++
+		}
+		if i < len(cg) && cg[i] == gi {
 			crit = append(crit, gi)
 		}
 	}
+	r.critBuf = crit
 	if len(crit) > 0 {
 		return crit
 	}
@@ -635,17 +698,24 @@ func (r *run) candidateGates(p *progCtx) []int {
 
 // blockedFront returns p's front-layer two-qubit gates that are not
 // hardware-compliant (executeCompliant has already drained compliant
-// ones, but stay defensive).
+// ones, but stay defensive). The result is cached on the program and
+// invalidated by exec and applySwap — the only two mutations that can
+// change it; callers must not hold the slice across either.
 func (r *run) blockedFront(p *progCtx) []int {
-	var out []int
-	for _, gi := range p.state.FrontTwoQubit() {
+	if p.fbOK {
+		return p.fb
+	}
+	p.frontBuf = p.state.AppendFrontTwoQubit(p.frontBuf[:0])
+	p.fb = p.fb[:0]
+	for _, gi := range p.frontBuf {
 		g := p.circ.Gates[gi]
 		a, b := p.l2p[g.Qubits[0]], p.l2p[g.Qubits[1]]
 		if !r.d.Coupling.HasEdge(a, b) {
-			out = append(out, gi)
+			p.fb = append(p.fb, gi)
 		}
 	}
-	return out
+	p.fbOK = true
+	return p.fb
 }
 
 // swapAllowed applies the inter-program policy: a SWAP touching another
@@ -663,14 +733,31 @@ func (r *run) swapAllowed(prog, a, b int) bool {
 }
 
 // restrictedHops returns D'_p: hop distances over the qubits free or
-// owned by program p (Equation 2's per-program matrix), recomputed from
-// live ownership.
+// owned by program p (Equation 2's per-program matrix). The matrix is
+// memoized per program against its ownership mask: intra-program SWAPs
+// leave the mask untouched, so the all-pairs BFS only reruns when a
+// SWAP actually moves a program boundary. Callers must treat the
+// returned matrix as read-only.
 func (r *run) restrictedHops(p int) [][]int {
-	allowed := make([]bool, r.d.NumQubits())
-	for q := range allowed {
-		allowed[q] = r.owner[q] == -1 || r.owner[q] == p
+	pr := r.progs[p]
+	if r.allowedBuf == nil {
+		r.allowedBuf = make([]bool, r.d.NumQubits())
 	}
-	return r.d.Coupling.RestrictedHops(allowed)
+	allowed := r.allowedBuf
+	same := pr.rhops != nil
+	for q := range allowed {
+		a := r.owner[q] == -1 || r.owner[q] == p
+		allowed[q] = a
+		if same && pr.rhAllowed[q] != a {
+			same = false
+		}
+	}
+	if same {
+		return pr.rhops
+	}
+	pr.rhAllowed = append(pr.rhAllowed[:0], allowed...)
+	pr.rhops = r.d.Coupling.RestrictedHops(allowed)
+	return pr.rhops
 }
 
 // progSnapshot caches everything score evaluation needs about one
@@ -689,7 +776,7 @@ type progSnapshot struct {
 // pickSwap scores every candidate with the heuristic cost function
 // (Equation 3) and returns the minimum; ties break uniformly at random.
 func (r *run) pickSwap(cands []swapCandidate, hops [][]int) swapCandidate {
-	snaps := make([]progSnapshot, 0, len(r.progs))
+	snaps := r.snapsBuf[:0]
 	for _, p := range r.progs {
 		front := r.blockedFront(p)
 		if len(front) == 0 {
@@ -724,12 +811,9 @@ func (r *run) pickSwap(cands []swapCandidate, hops [][]int) swapCandidate {
 		}
 		snaps = append(snaps, snap)
 	}
+	r.snapsBuf = snaps
 
-	type scored struct {
-		c swapCandidate
-		s float64
-	}
-	var best []scored
+	best := r.bestBuf[:0]
 	bestScore := math.Inf(1)
 	for _, c := range cands {
 		s := r.scoreSwap(c, hops, snaps)
@@ -737,12 +821,13 @@ func (r *run) pickSwap(cands []swapCandidate, hops [][]int) swapCandidate {
 		case s < bestScore-1e-9:
 			bestScore = s
 			best = best[:0]
-			best = append(best, scored{c, s})
+			best = append(best, c)
 		case s <= bestScore+1e-9:
-			best = append(best, scored{c, s})
+			best = append(best, c)
 		}
 	}
-	return best[r.rng.Intn(len(best))].c
+	r.bestBuf = best
+	return best[r.rng.Intn(len(best))]
 }
 
 // scoreSwap computes score(SWAP) = H(SWAP) + Σ_i (1/|F_i|) Σ_g
@@ -859,9 +944,11 @@ func (r *run) applySwap(c swapCandidate, hops [][]int) {
 	la, lb := r.physLog[c.a], r.physLog[c.b]
 	if oa != -1 {
 		r.progs[oa].l2p[la] = c.b
+		r.progs[oa].fbOK = false
 	}
 	if ob != -1 {
 		r.progs[ob].l2p[lb] = c.a
+		r.progs[ob].fbOK = false
 	}
 	r.owner[c.a], r.owner[c.b] = ob, oa
 	r.physLog[c.a], r.physLog[c.b] = lb, la

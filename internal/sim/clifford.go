@@ -46,15 +46,11 @@ func SimulateScheduleCliffordCtx(ctx context.Context, d *arch.Device, sched *rou
 	if noise.Enabled && noise.SerializeCrosstalk {
 		lay = serializeCrosstalk(d, lay)
 	}
-	for _, layer := range lay.layers {
-		for _, op := range layer {
-			if op.Gate.IsMeasure() || op.Gate.IsBarrier() {
-				continue
-			}
-			if !IsClifford(&circuit.Circuit{NumQubits: d.NumQubits(), Gates: []circuit.Gate{op.Gate}}) {
-				return nil, fmt.Errorf("sim: schedule contains non-Clifford gate %q", op.Gate.Name)
-			}
-		}
+	// Lowering validates the gate set: any non-Clifford gate fails here,
+	// before the reference run (see hotpath.go).
+	cp, err := compileLayers(d, lay, noise, engineTableau)
+	if err != nil {
+		return nil, err
 	}
 	measOf := make([][]router.Measurement, len(progs))
 	for _, m := range lay.measures {
@@ -79,48 +75,63 @@ func SimulateScheduleCliffordCtx(ctx context.Context, d *arch.Device, sched *rou
 		order = append(order, ms...)
 	}
 
-	// Reference: noiseless run, random outcomes resolved to 0.
-	ref := newPtab(len(lay.active))
-	if err := runTrialT(ref, d, lay, NoiseModel{}, rand.New(rand.NewSource(seed))); err != nil {
-		return nil, err
-	}
-	correctBits := map[[2]int]int{}
+	// Reference: noiseless run, random outcomes resolved to 0. The
+	// compiled gate sequence is identical to the noisy one; only the
+	// draw thresholds differ, and a noiseless run never reads them.
+	ref := newPtab(cp.nq)
+	cp.runTableauNoiseless(ref)
+	pickZero := func() bool { return false }
+	// The measurement plan flattens the (program, logical)-ordered
+	// measurement list with each point's trial-invariant inputs resolved,
+	// replacing the per-trial map lookups of the legacy path.
+	plan := make([]struct {
+		prog    int
+		compact int
+		readout float64
+		correct int
+	}, len(order))
 	correct := make([]string, len(progs))
 	bufs := make([][]byte, len(progs))
 	for p := range progs {
 		bufs[p] = make([]byte, 0, len(measOf[p]))
 	}
-	for _, m := range order {
-		b := ref.measure(lay.compact[m.Phys], func() bool { return false })
-		correctBits[[2]int{m.Program, m.Logical}] = b
+	for i, m := range order {
+		b := ref.measure(lay.compact[m.Phys], pickZero)
+		plan[i].prog = m.Program
+		plan[i].compact = lay.compact[m.Phys]
+		plan[i].readout = d.ReadoutErr[m.Phys]
+		plan[i].correct = b
 		bufs[m.Program] = append(bufs[m.Program], byte('0'+b))
 	}
 	for p := range progs {
 		correct[p] = string(bufs[p])
 	}
+	doReadout := noise.Enabled && noise.Readout
 
 	shards := numShards(trials)
+	workers = shardWorkers(workers, trials, cp.trialWork)
 	perShard := make([][]int, shards)
 	ferr := pool.ForEach(ctx, shards, workers, func(s int) error {
 		rng := rand.New(rand.NewSource(shardSeed(seed, s)))
 		lo, hi := shardRange(s, trials)
 		succ := make([]int, len(progs))
+		tb := newPtab(cp.nq)
+		pick := func() bool { return rng.Intn(2) == 1 }
+		ok := make([]bool, len(progs))
 		for trial := lo; trial < hi; trial++ {
-			tb := newPtab(len(lay.active))
-			if err := runTrialT(tb, d, lay, noise, rng); err != nil {
-				return err
-			}
-			ok := make([]bool, len(progs))
+			tb.reset()
+			cp.runTableau(tb, rng)
 			for p := range ok {
 				ok[p] = true
 			}
-			for _, m := range order {
-				b := tb.measure(lay.compact[m.Phys], func() bool { return rng.Intn(2) == 1 })
-				if noise.Enabled && noise.Readout && rng.Float64() < d.ReadoutErr[m.Phys] {
+			for i := range plan {
+				mp := &plan[i]
+				b := tb.measure(mp.compact, pick)
+				if doReadout && rng.Float64() < mp.readout {
 					b ^= 1
 				}
-				if b != correctBits[[2]int{m.Program, m.Logical}] {
-					ok[m.Program] = false
+				if b != mp.correct {
+					ok[mp.prog] = false
 				}
 			}
 			for p := range progs {
@@ -158,7 +169,9 @@ func SimulateScheduleCliffordCtx(ctx context.Context, d *arch.Device, sched *rou
 // measurements are terminal (e.g. MeasureAll), matching the router's
 // measure-deferral semantics.
 func CliffordOutcome(c *circuit.Circuit) (string, error) {
-	tb := newTableau(c.NumQubits)
+	// Packed tableau by default: the boolean tableau survives only as
+	// the property-test cross-check (TestPackedMatchesBooleanTableau).
+	tb := newPtab(c.NumQubits)
 	measured := make([]bool, c.NumQubits)
 	ident := func(q int) int { return q }
 	for _, g := range c.Gates {
@@ -185,12 +198,23 @@ func CliffordOutcome(c *circuit.Circuit) (string, error) {
 }
 
 // cliffordBackend is satisfied by both stabilizer implementations: the
-// boolean reference tableau and the bit-packed ptab.
+// boolean reference tableau and the bit-packed ptab. The direct gate
+// methods let the compiled hot path (hotpath.go) dispatch on a small op
+// kind instead of re-resolving gate names per trial.
 type cliffordBackend interface {
 	applyCliffordGate(g circuit.Gate, qmap func(int) int) error
 	injectPauliT(q int, rng *rand.Rand)
 	decayT(q int, rng *rand.Rand)
 	measure(q int, pick func() bool) int
+	h(q int)
+	s(q int)
+	sdg(q int)
+	xg(q int)
+	yg(q int)
+	zg(q int)
+	cx(c, t int)
+	cz(a, b int)
+	swap(a, b int)
 }
 
 // runTrialT is runTrial over a stabilizer backend.

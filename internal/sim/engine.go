@@ -190,49 +190,55 @@ func SimulateScheduleCtx(ctx context.Context, d *arch.Device, sched *router.Sche
 		sort.Slice(measOf[p], func(i, j int) bool { return measOf[p][i].Logical < measOf[p][j].Logical })
 	}
 
-	// Noiseless reference run fixes the correct outcome.
-	ref := newState(len(lay.active))
-	rngRef := rand.New(rand.NewSource(seed))
-	if err := runTrial(ref, d, lay, NoiseModel{}, rngRef); err != nil {
+	// Lower the schedule once: compact indices, folded error rates, 1q
+	// matrices, and idle lists are trial-invariant (see hotpath.go).
+	cp, err := compileLayers(d, lay, noise, engineStatevector)
+	if err != nil {
 		return nil, err
 	}
+
+	// Noiseless reference run fixes the correct outcome.
+	ref := newState(cp.nq)
+	cp.runStatevectorNoiseless(ref)
 	modal := ref.modal()
 	correct := make([]string, len(progs))
-	correctBits := make([][]int, len(progs))
+	plan := make([][]measPoint, len(progs))
 	for p := range progs {
-		bits := make([]int, len(measOf[p]))
 		buf := make([]byte, len(measOf[p]))
+		plan[p] = make([]measPoint, len(measOf[p]))
 		for i, m := range measOf[p] {
 			b := (modal >> uint(lay.compact[m.Phys])) & 1
-			bits[i] = b
 			buf[i] = byte('0' + b)
+			plan[p][i] = measPoint{compact: lay.compact[m.Phys], readout: d.ReadoutErr[m.Phys], correct: b}
 		}
 		correct[p] = string(buf)
-		correctBits[p] = bits
 	}
+	doReadout := noise.Enabled && noise.Readout
 
 	// Shard the trial budget: shard s runs trials [lo, hi) with its own
 	// counter-derived RNG, so per-shard counts do not depend on how the
-	// shards are spread over goroutines.
+	// shards are spread over goroutines. Each shard reuses one state
+	// buffer across its trials.
 	shards := numShards(trials)
+	workers = shardWorkers(workers, trials, cp.trialWork)
 	perShard := make([][]int, shards)
 	ferr := pool.ForEach(ctx, shards, workers, func(s int) error {
 		rng := rand.New(rand.NewSource(shardSeed(seed, s)))
 		lo, hi := shardRange(s, trials)
 		succ := make([]int, len(progs))
+		st := newState(cp.nq)
 		for trial := lo; trial < hi; trial++ {
-			st := newState(len(lay.active))
-			if err := runTrial(st, d, lay, noise, rng); err != nil {
-				return err
-			}
-			for p := range progs {
+			st.reset()
+			cp.runStatevector(st, rng)
+			for p := range plan {
 				ok := true
-				for i, m := range measOf[p] {
-					b := st.measure(lay.compact[m.Phys], rng)
-					if noise.Enabled && noise.Readout && rng.Float64() < d.ReadoutErr[m.Phys] {
+				for i := range plan[p] {
+					mp := &plan[p][i]
+					b := st.measure(mp.compact, rng)
+					if doReadout && rng.Float64() < mp.readout {
 						b ^= 1
 					}
-					if b != correctBits[p][i] {
+					if b != mp.correct {
 						ok = false
 					}
 				}

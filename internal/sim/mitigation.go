@@ -54,24 +54,30 @@ func SimulateScheduleMitigated(d *arch.Device, sched *router.Schedule, progs []*
 		sort.Slice(measOf[p], func(i, j int) bool { return measOf[p][i].Logical < measOf[p][j].Logical })
 	}
 
-	ref := newState(len(lay.active))
-	if err := runTrial(ref, d, lay, NoiseModel{}, rand.New(rand.NewSource(seed))); err != nil {
+	cp, err := compileLayers(d, lay, noise, engineStatevector)
+	if err != nil {
 		return nil, err
 	}
+	ref := newState(cp.nq)
+	cp.runStatevectorNoiseless(ref)
 	modal := ref.modal()
 	correct := make([]string, len(progs))
 	correctIdx := make([]int, len(progs))
+	plan := make([][]measPoint, len(progs))
 	for p := range progs {
 		buf := make([]byte, len(measOf[p]))
+		plan[p] = make([]measPoint, len(measOf[p]))
 		idx := 0
 		for i, m := range measOf[p] {
 			b := (modal >> uint(lay.compact[m.Phys])) & 1
 			buf[i] = byte('0' + b)
 			idx |= b << uint(i)
+			plan[p][i] = measPoint{compact: lay.compact[m.Phys], readout: d.ReadoutErr[m.Phys], correct: b}
 		}
 		correct[p] = string(buf)
 		correctIdx[p] = idx
 	}
+	doReadout := noise.Enabled && noise.Readout
 
 	// Sharded like SimulateScheduleWorkers; per-shard histograms hold
 	// integer counts, so the shard-order reduction is exact and the
@@ -81,24 +87,25 @@ func SimulateScheduleMitigated(d *arch.Device, sched *router.Schedule, progs []*
 		succ   []int
 	}
 	shards := numShards(trials)
+	workers := shardWorkers(0, trials, cp.trialWork)
 	perShard := make([]shardCounts, shards)
-	ferr := pool.ForEach(context.Background(), shards, 0, func(s int) error {
+	ferr := pool.ForEach(context.Background(), shards, workers, func(s int) error {
 		rng := rand.New(rand.NewSource(shardSeed(seed, s)))
 		lo, hi := shardRange(s, trials)
 		sc := shardCounts{counts: make([][]int, len(progs)), succ: make([]int, len(progs))}
 		for p := range progs {
-			sc.counts[p] = make([]int, 1<<uint(len(measOf[p])))
+			sc.counts[p] = make([]int, 1<<uint(len(plan[p])))
 		}
+		st := newState(cp.nq)
 		for trial := lo; trial < hi; trial++ {
-			st := newState(len(lay.active))
-			if err := runTrial(st, d, lay, noise, rng); err != nil {
-				return err
-			}
-			for p := range progs {
+			st.reset()
+			cp.runStatevector(st, rng)
+			for p := range plan {
 				idx := 0
-				for i, m := range measOf[p] {
-					b := st.measure(lay.compact[m.Phys], rng)
-					if noise.Enabled && noise.Readout && rng.Float64() < d.ReadoutErr[m.Phys] {
+				for i := range plan[p] {
+					mp := &plan[p][i]
+					b := st.measure(mp.compact, rng)
+					if doReadout && rng.Float64() < mp.readout {
 						b ^= 1
 					}
 					idx |= b << uint(i)

@@ -35,6 +35,14 @@ func newState(n int) *state {
 	return s
 }
 
+// reset returns the state to |0...0> in place, so per-shard trial loops
+// reuse one amplitude buffer instead of allocating 2^n complex128s per
+// trial (the dominant allocation of the legacy hot path).
+func (s *state) reset() {
+	clear(s.amps)
+	s.amps[0] = 1
+}
+
 func (s *state) clone() *state {
 	c := &state{n: s.n, amps: make([]complex128, len(s.amps))}
 	copy(c.amps, s.amps)

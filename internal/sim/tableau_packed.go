@@ -17,6 +17,15 @@ type ptab struct {
 	words int
 	x, z  [][]uint64
 	r     []bool
+	// xbits/zbits back every row in one contiguous allocation (cache
+	// locality + a single memclr on reset); sx/sz are the deterministic-
+	// measure scratch rows, reused across measurements.
+	xbits, zbits []uint64
+	sx, sz       []uint64
+	// pickRng/pickFn make decayT's random pick allocation-free: the
+	// closure is built once here instead of once per decay event.
+	pickRng *rand.Rand
+	pickFn  func() bool
 }
 
 func newPtab(n int) *ptab {
@@ -27,16 +36,36 @@ func newPtab(n int) *ptab {
 		x:     make([][]uint64, 2*n),
 		z:     make([][]uint64, 2*n),
 		r:     make([]bool, 2*n),
+		xbits: make([]uint64, 2*n*w),
+		zbits: make([]uint64, 2*n*w),
+		sx:    make([]uint64, w),
+		sz:    make([]uint64, w),
 	}
 	for i := 0; i < 2*n; i++ {
-		t.x[i] = make([]uint64, w)
-		t.z[i] = make([]uint64, w)
+		t.x[i] = t.xbits[i*w : (i+1)*w : (i+1)*w]
+		t.z[i] = t.zbits[i*w : (i+1)*w : (i+1)*w]
 	}
-	for q := 0; q < n; q++ {
-		t.x[q][q>>6] |= 1 << uint(q&63)
-		t.z[n+q][q>>6] |= 1 << uint(q&63)
-	}
+	t.pickFn = func() bool { return t.pickRng.Intn(2) == 1 }
+	t.init()
 	return t
+}
+
+// init sets the identity tableau (destabilizer X_q, stabilizer Z_q).
+func (t *ptab) init() {
+	for q := 0; q < t.n; q++ {
+		t.x[q][q>>6] |= 1 << uint(q&63)
+		t.z[t.n+q][q>>6] |= 1 << uint(q&63)
+	}
+}
+
+// reset restores the identity tableau in place, so per-shard trial
+// loops reuse one ptab instead of reallocating 4n*words words per
+// trial.
+func (t *ptab) reset() {
+	clear(t.xbits)
+	clear(t.zbits)
+	clear(t.r)
+	t.init()
 }
 
 func (t *ptab) getx(i, q int) bool { return t.x[i][q>>6]&(1<<uint(q&63)) != 0 }
@@ -159,9 +188,11 @@ func (t *ptab) measure(q int, pick func() bool) int {
 		t.r[p] = outcome
 		return b2i(outcome)
 	}
-	// Deterministic: accumulate stabilizer rows into a scratch row.
-	sx := make([]uint64, t.words)
-	sz := make([]uint64, t.words)
+	// Deterministic: accumulate stabilizer rows into the reusable
+	// scratch row.
+	sx, sz := t.sx, t.sz
+	clear(sx)
+	clear(sz)
 	sr := false
 	for i := 0; i < n; i++ {
 		if t.getx(i, q) {
@@ -226,7 +257,8 @@ func (t *ptab) injectPauliT(q int, rng *rand.Rand) {
 }
 
 func (t *ptab) decayT(q int, rng *rand.Rand) {
-	if t.measure(q, func() bool { return rng.Intn(2) == 1 }) == 1 {
+	t.pickRng = rng
+	if t.measure(q, t.pickFn) == 1 {
 		t.xg(q)
 	}
 }
