@@ -79,6 +79,8 @@ bench-parallel-json:
 		| $(GO) run ./cmd/benchjson -o $(BENCH_PARALLEL) -label route -append
 	$(GO) test -run '^$$' -bench 'BenchmarkTable2$$' -benchtime 1x . \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_PARALLEL) -label table2 -append
+	$(GO) test -run '^$$' -bench 'BenchmarkSRBEstimate$$' -benchtime 20x ./internal/srb \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_PARALLEL) -label srb -append
 
 bench-json: bench-parallel-json
 	$(GO) test -run '^$$' -bench 'BenchmarkCacheCompile(Cold|Warm)$$' -benchtime 20x . \

@@ -120,6 +120,7 @@ func runServe(args []string) error {
 		brkCooldown  = fs.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before a half-open probe")
 		history      = fs.Int("history", 4096, "terminal job records retained per service (negative keeps all)")
 		cacheSize    = fs.Int("cache-size", 1024, "compile-cache entries (0 uses the default, negative disables caching)")
+		crosstalk    = fs.Bool("crosstalk", false, "install a synthetic SRB crosstalk matrix on every backend (CDAP placement and EPST admission become pair-aware)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -128,6 +129,14 @@ func runServe(args []string) error {
 	devices, err := parseBackends(*backends, *calSeed)
 	if err != nil {
 		return err
+	}
+	if *crosstalk {
+		for i, d := range devices {
+			d.Crosstalk = arch.GenerateCrosstalk(d, *calSeed+int64(i)*131)
+			if err := d.Validate(); err != nil {
+				return fmt.Errorf("crosstalk matrix for %s: %w", d.Name, err)
+			}
+		}
 	}
 	cfg := service.DefaultConfig()
 	cfg.Policy = service.Policy(*policy)

@@ -6,6 +6,7 @@
 //	quexp -exp fig8              # Figure 8: IBM Q London dendrogram
 //	quexp -exp fig9              # Figure 9: omega sweep + knee (both chips)
 //	quexp -exp fig14             # Figure 14: scheduler PST / TRF
+//	quexp -exp crosstalk         # SRB-matrix-aware vs blind co-location
 //	quexp -exp all
 package main
 
@@ -13,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	qucloud "repro"
 	"repro/internal/arch"
@@ -22,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table2, table3, fig8, fig9, fig14, scale, clifford, staleness, all")
+		exp      = flag.String("exp", "all", "experiment: table2, table3, fig8, fig9, fig14, scale, clifford, staleness, crosstalk, all")
 		seed     = flag.Int64("seed", 0, "calibration seed")
 		trials   = flag.Int("trials", 2000, "Monte-Carlo trials per PST estimate")
 		days     = flag.Int("days", 21, "calibration days for the fig9 sweep")
@@ -50,6 +52,26 @@ func main() {
 	run("scale", func() error { return scale(*seed) })
 	run("clifford", func() error { return clifford(*seed, *trials) })
 	run("staleness", func() error { return staleness(*seed) })
+	run("crosstalk", func() error { return crosstalk(*seed, *trials) })
+}
+
+func crosstalk(seed int64, trials int) error {
+	fmt.Printf("== Extension: crosstalk-aware co-location on adversarial IBMQ16 (day %d, %d trials)\n\n", seed, trials)
+	rows, err := qucloud.RunCrosstalkAware(seed, trials)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-40s %10s %10s %8s %9s %9s\n", "mix", "aware(%)", "blind(%)", "delta", "hostileA", "hostileB")
+	var sumA, sumB float64
+	for _, r := range rows {
+		fmt.Printf("%-40s %10.1f %10.1f %+8.1f %9d %9d\n", strings.Join(r.Programs, "+"), r.AwarePST, r.BlindPST, r.Delta(), r.AwareHostile, r.BlindHostile)
+		sumA += r.AwarePST
+		sumB += r.BlindPST
+	}
+	n := float64(len(rows))
+	fmt.Printf("%-40s %10.1f %10.1f %+8.1f\n", "mean", sumA/n, sumB/n, (sumA-sumB)/n)
+	fmt.Println()
+	return nil
 }
 
 func clifford(seed int64, trials int) error {

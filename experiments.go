@@ -509,3 +509,124 @@ func RunCliffordFidelity(calSeed int64, trials int) ([]CliffordRow, error) {
 	}
 	return rows, nil
 }
+
+// CrosstalkMixes lists the three-program workloads of the
+// crosstalk-awareness experiment. Each mix occupies 11-14 of IBMQ16's
+// 15 qubits, so CDAP cannot separate the programs: regions are forced
+// to pack side by side and the only freedom left is WHICH boundary
+// pairs end up co-firing. That is exactly the regime where the
+// pairwise E(g_i|g_j) model has something to buy.
+var CrosstalkMixes = [][]string{
+	{"3_17_13", "4mod5-v1_22", "decod24-v2_43"},
+	{"3_17_13", "mod5mils_65", "decod24-v2_43"},
+	{"bv_n4", "alu-v0_27", "3_17_13"},
+	{"toffoli_3", "3_17_13", "mod5mils_65"},
+	{"fredkin_3", "decod24-v2_43", "4mod5-v1_22"},
+	{"peres_3", "alu-v0_27", "decod24-v2_43"},
+}
+
+// CrosstalkRow is one workload's outcome in the crosstalk-awareness
+// experiment: mean PST (percent) of the co-located mix when the
+// compiler sees the pairwise matrix versus when it compiles blind, both
+// simulated on the same matrix-carrying chip (the physical truth).
+type CrosstalkRow struct {
+	Programs []string
+	// AwarePST and BlindPST are mean PSTs in percent.
+	AwarePST, BlindPST float64
+	// AwareHostile and BlindHostile count characterized hostile pairs
+	// (ratio >= 2) spanning different programs' regions in each
+	// placement.
+	AwareHostile, BlindHostile int
+}
+
+// Delta returns the awareness gain in PST points.
+func (r CrosstalkRow) Delta() float64 { return r.AwarePST - r.BlindPST }
+
+// RunCrosstalkAware measures what the pairwise crosstalk model buys on
+// an adversarial chip: IBMQ16 with a synthetic SRB matrix where ~50% of
+// adjacent link pairs are hostile (conditional error 8-12x base). Each
+// CrosstalkMixes workload is compiled twice with CDAP+X-SWAP — once on
+// the matrix-carrying device (CDAP penalizes hostile co-location and
+// the simulator is the same physical truth) and once on a matrix-free
+// copy with identical base calibration (the pre-SRB compiler) — and
+// both schedules are then simulated on the matrix-carrying chip.
+func RunCrosstalkAware(calSeed int64, trials int) ([]CrosstalkRow, error) {
+	aware := arch.IBMQ16(calSeed)
+	aware.Crosstalk = arch.GenerateHostileCrosstalk(aware, calSeed+1, 0.5, 8, 12)
+	if err := aware.Validate(); err != nil {
+		return nil, err
+	}
+	blind := arch.IBMQ16(calSeed) // same calibration, no matrix
+	noise := sim.DefaultNoise()
+
+	rows := make([]CrosstalkRow, len(CrosstalkMixes))
+	err := pool.ForEach(context.Background(), len(CrosstalkMixes), 0, func(wi int) error {
+		w := CrosstalkMixes[wi]
+		progs := make([]*circuit.Circuit, len(w))
+		for i, name := range w {
+			progs[i] = nisqbench.MustGet(name)
+		}
+		row := CrosstalkRow{Programs: w}
+		for _, arm := range []struct {
+			compileOn *arch.Device
+			out       *float64
+			hostile   *int
+		}{
+			{aware, &row.AwarePST, &row.AwareHostile},
+			{blind, &row.BlindPST, &row.BlindHostile},
+		} {
+			comp := NewCompiler(arm.compileOn)
+			comp.Attempts = 2
+			comp.Workers = 1 // workloads already fan out
+			res, err := comp.Compile(progs, CDAPXSwap)
+			if err != nil {
+				return fmt.Errorf("crosstalk mix %d: %w", wi, err)
+			}
+			// Simulate on the matrix chip either way: the hardware has
+			// the crosstalk whether or not the compiler modeled it.
+			truth := NewCompiler(aware)
+			truth.Workers = 1
+			psts, err := truth.Simulate(res, trials, 4200+int64(wi), noise)
+			if err != nil {
+				return fmt.Errorf("crosstalk mix %d: %w", wi, err)
+			}
+			sum := 0.0
+			for _, p := range psts {
+				sum += p * 100
+			}
+			*arm.out = sum / float64(len(psts))
+			*arm.hostile = hostileAdjacency(aware, res)
+		}
+		rows[wi] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// hostileAdjacency counts the characterized hostile pairs (ratio >= 2)
+// spanning two different programs' initial regions in the result.
+func hostileAdjacency(d *arch.Device, res *Result) int {
+	if len(res.Initial) == 0 {
+		return 0
+	}
+	maps := res.Initial[0]
+	n := 0
+	for i := 0; i < len(maps); i++ {
+		for j := 0; j < len(maps); j++ {
+			if i == j {
+				continue
+			}
+			for _, ei := range d.Coupling.InducedEdges(maps[i]) {
+				for _, ej := range d.Coupling.InducedEdges(maps[j]) {
+					if d.CrosstalkRatio(ei, ej) >= 2 {
+						n++
+					}
+				}
+			}
+		}
+	}
+	return n
+}

@@ -17,6 +17,12 @@ type Calibration struct {
 	// ReadoutErr and Gate1Err are per-qubit error rates.
 	ReadoutErr []float64
 	Gate1Err   []float64
+	// Crosstalk is the optional pairwise conditional-error matrix
+	// E(victim|aggressor); nil means the day's calibration did not
+	// characterize crosstalk and the device falls back to its scalar
+	// model. GenerateCalibration leaves it nil (so existing seeds stay
+	// byte-identical); pair it with GenerateCrosstalk/CrosstalkSeries.
+	Crosstalk CrosstalkMatrix
 }
 
 // Realistic IBMQ16-Melbourne-like calibration ranges. The paper's
@@ -86,6 +92,10 @@ func ApplyCalibration(d *Device, cal Calibration) {
 	}
 	copy(d.ReadoutErr, cal.ReadoutErr)
 	copy(d.Gate1Err, cal.Gate1Err)
+	// The matrix is part of the calibration: a day without one clears
+	// any previous day's (conditional rates are meaningless against
+	// fresh base rates).
+	d.Crosstalk = cal.Crosstalk.Clone()
 	d.InvalidateArtifacts()
 }
 

@@ -33,6 +33,12 @@ type Device struct {
 	ReadoutErr []float64
 	// Gate1Err[q] is the error rate of single-qubit gates on qubit q.
 	Gate1Err []float64
+	// Crosstalk is the optional pairwise crosstalk calibration
+	// E(victim|aggressor) from (simulated) Simultaneous Randomized
+	// Benchmarking; nil when the chip has not been characterized, in
+	// which case every consumer falls back to its scalar crosstalk
+	// model (see crosstalk.go).
+	Crosstalk CrosstalkMatrix
 
 	hopsOnce sync.Once
 	hops     [][]int // lazily computed all-pairs hop distances
@@ -132,7 +138,7 @@ func (d *Device) Validate() error {
 			return fmt.Errorf("arch: device %s: qubit %d 1q error %v out of [0,1)", d.Name, q, d.Gate1Err[q])
 		}
 	}
-	return nil
+	return validateCrosstalk(d, d.Crosstalk)
 }
 
 // CNOTError returns the CNOT error rate of the link {u, v}. It panics if
@@ -219,6 +225,38 @@ func (d *Device) EPST(region []int, cnots, gate1s, qubits int) float64 {
 		sum := 0.0
 		for _, e := range edges {
 			sum += 1 - d.CNOTErr[e]
+		}
+		r2q = sum / float64(len(edges))
+	}
+	var r1q, rro float64
+	for _, q := range region {
+		r1q += 1 - d.Gate1Err[q]
+		rro += 1 - d.ReadoutErr[q]
+	}
+	r1q /= float64(len(region))
+	rro /= float64(len(region))
+	return math.Pow(r2q, float64(cnots)) * math.Pow(r1q, float64(gate1s)) * math.Pow(rro, float64(qubits))
+}
+
+// EPSTUnder is EPST conditioned on concurrently busy links: when the
+// device carries a pairwise crosstalk matrix, each of the region's
+// internal links contributes its worst conditional error over the busy
+// aggressor links (Worst2qErrUnder) instead of its base error, so a
+// region whose boundary is hostile to an already-placed neighbor scores
+// lower. With no matrix, no busy links, or no internal links it returns
+// exactly EPST — the same float operations in the same order.
+func (d *Device) EPSTUnder(region []int, cnots, gate1s, qubits int, busy []graph.Edge) float64 {
+	if len(d.Crosstalk) == 0 || len(busy) == 0 {
+		return d.EPST(region, cnots, gate1s, qubits)
+	}
+	if len(region) == 0 {
+		return 0
+	}
+	r2q := 1.0
+	if edges := d.Coupling.InducedEdges(region); len(edges) > 0 {
+		sum := 0.0
+		for _, e := range edges {
+			sum += 1 - d.Worst2qErrUnder(e, busy)
 		}
 		r2q = sum / float64(len(edges))
 	}

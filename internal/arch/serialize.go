@@ -20,6 +20,18 @@ type DeviceSpec struct {
 	CNOTErr    []float64 `json:"cnot_err"`
 	ReadoutErr []float64 `json:"readout_err"`
 	Gate1Err   []float64 `json:"gate1_err"`
+	// Crosstalk lists the pairwise conditional-error matrix
+	// E(victim|aggressor), sorted by victim then aggressor link; absent
+	// (nil) for devices without SRB characterization, so specs written
+	// by older versions keep loading unchanged.
+	Crosstalk []CrosstalkSpec `json:"crosstalk,omitempty"`
+}
+
+// CrosstalkSpec is one serialized crosstalk-matrix entry.
+type CrosstalkSpec struct {
+	Victim    [2]int  `json:"victim"`
+	Aggressor [2]int  `json:"aggressor"`
+	Err       float64 `json:"err"`
 }
 
 // Spec returns the device's serializable description.
@@ -36,6 +48,13 @@ func (d *Device) Spec() DeviceSpec {
 	for i, e := range edges {
 		spec.Edges[i] = [2]int{e.U, e.V}
 		spec.CNOTErr[i] = d.CNOTErr[e]
+	}
+	for _, p := range d.Crosstalk.SortedPairs() {
+		spec.Crosstalk = append(spec.Crosstalk, CrosstalkSpec{
+			Victim:    [2]int{p.Victim.U, p.Victim.V},
+			Aggressor: [2]int{p.Aggressor.U, p.Aggressor.V},
+			Err:       d.Crosstalk[p],
+		})
 	}
 	return spec
 }
@@ -74,6 +93,12 @@ func FromSpec(spec DeviceSpec) (*Device, error) {
 	}
 	copy(d.ReadoutErr, spec.ReadoutErr)
 	copy(d.Gate1Err, spec.Gate1Err)
+	if len(spec.Crosstalk) > 0 {
+		d.Crosstalk = make(CrosstalkMatrix, len(spec.Crosstalk))
+		for _, c := range spec.Crosstalk {
+			d.Crosstalk[NewEdgePair(c.Victim[0], c.Victim[1], c.Aggressor[0], c.Aggressor[1])] = c.Err
+		}
+	}
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}

@@ -2,8 +2,11 @@ package arch
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/graph"
 )
 
 func TestDeviceJSONRoundTrip(t *testing.T) {
@@ -56,5 +59,80 @@ func TestFromSpecValidation(t *testing.T) {
 func TestLoadDeviceRejectsGarbage(t *testing.T) {
 	if _, err := LoadDevice(strings.NewReader("not json")); err == nil {
 		t.Fatal("garbage must error")
+	}
+}
+
+// TestCalibrationFieldsRoundTrip is a reflection-based guard against
+// the bug class where a new Calibration field is added but Spec/FromSpec
+// silently drop it (as originally happened with Crosstalk): every field
+// of Calibration must have a checker here that perturbs the field,
+// round-trips the device through its JSON spec, and proves the
+// perturbation survived. Adding a Calibration field without extending
+// this map fails the test by name.
+func TestCalibrationFieldsRoundTrip(t *testing.T) {
+	// Each checker installs a calibration with a distinctive value in
+	// its field and returns (value on the round-tripped device, value
+	// expected). Device state flows Calibration -> ApplyCalibration ->
+	// Spec -> FromSpec.
+	roundTrip := func(t *testing.T, cal Calibration) *Device {
+		t.Helper()
+		d := IBMQ16(1)
+		ApplyCalibration(d, cal)
+		got, err := FromSpec(d.Spec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	checkers := map[string]func(t *testing.T){
+		"CNOTErr": func(t *testing.T) {
+			cal := GenerateCalibration(IBMQ16(1), 3)
+			e := graph.NewEdge(0, 1)
+			cal.CNOTErr[e] = 0.0421
+			got := roundTrip(t, cal)
+			if got.CNOTErr[e] != 0.0421 {
+				t.Errorf("CNOTErr dropped: got %v", got.CNOTErr[e])
+			}
+		},
+		"ReadoutErr": func(t *testing.T) {
+			cal := GenerateCalibration(IBMQ16(1), 3)
+			cal.ReadoutErr[2] = 0.0839
+			got := roundTrip(t, cal)
+			if got.ReadoutErr[2] != 0.0839 {
+				t.Errorf("ReadoutErr dropped: got %v", got.ReadoutErr[2])
+			}
+		},
+		"Gate1Err": func(t *testing.T) {
+			cal := GenerateCalibration(IBMQ16(1), 3)
+			cal.Gate1Err[4] = 0.0031
+			got := roundTrip(t, cal)
+			if got.Gate1Err[4] != 0.0031 {
+				t.Errorf("Gate1Err dropped: got %v", got.Gate1Err[4])
+			}
+		},
+		"Crosstalk": func(t *testing.T) {
+			d := IBMQ16(1)
+			cal := GenerateCalibration(d, 3)
+			cal.Crosstalk = GenerateCrosstalk(d, 3)
+			got := roundTrip(t, cal)
+			if !reflect.DeepEqual(got.Crosstalk, cal.Crosstalk) {
+				t.Error("Crosstalk dropped or altered by the round trip")
+			}
+		},
+	}
+	typ := reflect.TypeOf(Calibration{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		check, ok := checkers[name]
+		if !ok {
+			t.Errorf("Calibration field %q has no round-trip coverage: extend DeviceSpec/Spec/FromSpec and add a checker here", name)
+			continue
+		}
+		t.Run(name, check)
+	}
+	for name := range checkers {
+		if _, ok := typ.FieldByName(name); !ok {
+			t.Errorf("checker %q names a field Calibration no longer has", name)
+		}
 	}
 }

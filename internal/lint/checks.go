@@ -121,6 +121,7 @@ var deterministicPkgs = map[string]bool{
 	"internal/router":    true,
 	"internal/sched":     true,
 	"internal/sim":       true,
+	"internal/srb":       true,
 	"internal/viz":       true,
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/circuit"
 	"repro/internal/community"
+	"repro/internal/graph"
 )
 
 // ErrNoRegion is returned when the partitioner cannot find a region for
@@ -95,15 +96,25 @@ func CDAP(d *arch.Device, tree *community.Tree, progs []*circuit.Circuit) (*Resu
 	cut := map[*community.Node]bool{} // nodes severed from their parents
 
 	res := &Result{Assignments: make([]Assignment, len(progs))}
+	// placed accumulates the induced coupling links of already-assigned
+	// regions. On devices with a pairwise crosstalk matrix, candidate
+	// regions whose links are hostile to these neighbors score lower
+	// (EPSTUnder), so CDAP steers later programs away from placements
+	// that would interfere with earlier ones. Without a matrix, placed is
+	// ignored and the walk is byte-identical to the crosstalk-blind CDAP.
+	var placed []graph.Edge
 	for _, pi := range byCNOTDensity(progs) {
 		p := progs[pi]
-		region, err := cdapFindRegion(d, tree, avail, cut, p)
+		region, err := cdapFindRegion(d, tree, avail, cut, p, placed)
 		if err != nil {
 			return nil, fmt.Errorf("%w: program %q (%d qubits)", ErrNoRegion, p.Name, p.NumQubits)
 		}
 		mapping := AllocateGWEF(d, p, region)
 		for _, q := range region {
 			avail[q] = false
+		}
+		if d.HasCrosstalk() {
+			placed = append(placed, d.Coupling.InducedEdges(region)...)
 		}
 		res.Assignments[pi] = Assignment{Program: pi, Region: sortedCopy(region), InitialMapping: mapping}
 		pruneIsolatedSiblings(d, tree, avail, cut)
@@ -117,8 +128,11 @@ func CDAP(d *arch.Device, tree *community.Tree, progs []*circuit.Circuit) (*Resu
 // highest-estimated-fidelity candidate (Algorithm 2 lines 3-12, plus
 // the redundant-qubit subsetting of §IV-A3). Fidelity is estimated with
 // the program-aware EPST (Equation 4), so link reliability is weighted
-// by how CNOT-heavy the program is.
-func cdapFindRegion(d *arch.Device, tree *community.Tree, avail []bool, cut map[*community.Node]bool, p *circuit.Circuit) ([]int, error) {
+// by how CNOT-heavy the program is. placed lists the coupling links of
+// regions already granted to other programs: with a pairwise crosstalk
+// matrix, EPSTUnder charges each candidate link its worst conditional
+// error against those neighbors, penalizing hostile adjacency.
+func cdapFindRegion(d *arch.Device, tree *community.Tree, avail []bool, cut map[*community.Node]bool, p *circuit.Circuit, placed []graph.Edge) ([]int, error) {
 	size := p.NumQubits
 	type candidate struct {
 		subset []int
@@ -132,7 +146,7 @@ func cdapFindRegion(d *arch.Device, tree *community.Tree, avail []bool, cut map[
 	// fidelity differences; §IV-A3's redundant-qubit relabeling has the
 	// same goal.
 	score := func(subset []int) float64 {
-		epst := d.EPST(subset, p.RawCNOTCount(), p.Gate1Count(), p.NumQubits)
+		epst := d.EPSTUnder(subset, p.RawCNOTCount(), p.Gate1Count(), p.NumQubits, placed)
 		return epst - strandPenalty*float64(strandedAfter(d, avail, subset))
 	}
 	for q := 0; q < d.NumQubits(); q++ {
@@ -146,7 +160,7 @@ func cdapFindRegion(d *arch.Device, tree *community.Tree, avail []bool, cut map[
 				found := false
 				if !seen[node] {
 					seen[node] = true
-					if subset := bestConnectedSubset(d, avail, eff, p); subset != nil {
+					if subset := bestConnectedSubset(d, avail, eff, p, placed); subset != nil {
 						found = true
 						if s := score(subset); best == nil || s > best.score {
 							best = &candidate{subset: subset, score: s}
@@ -266,7 +280,10 @@ const strandPenalty = 0.01
 // always taking the neighbor that maximizes the program's EPST so far,
 // and keeps the seed whose result scores highest on EPST minus the
 // stranding penalty (avail describes the chip's current free qubits).
-func bestConnectedSubset(d *arch.Device, avail []bool, pool []int, p *circuit.Circuit) []int {
+// The greedy growth steps use the crosstalk-blind EPST for speed; only
+// the final per-seed score charges conditional errors against placed —
+// enough to choose a benign seed region when one exists.
+func bestConnectedSubset(d *arch.Device, avail []bool, pool []int, p *circuit.Circuit, placed []graph.Edge) []int {
 	size := p.NumQubits
 	cnots, g1s := p.RawCNOTCount(), p.Gate1Count()
 	epst := func(set []int) float64 { return d.EPST(set, cnots, g1s, size) }
@@ -305,7 +322,7 @@ func bestConnectedSubset(d *arch.Device, avail []bool, pool []int, p *circuit.Ci
 			inSet[cand] = true
 		}
 		if len(set) == size {
-			s := epst(set) - strandPenalty*float64(strandedAfter(d, avail, set))
+			s := d.EPSTUnder(set, cnots, g1s, size, placed) - strandPenalty*float64(strandedAfter(d, avail, set))
 			if s > bestScore {
 				best, bestScore = sortedCopy(set), s
 			}

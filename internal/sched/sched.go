@@ -16,6 +16,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/community"
 	"repro/internal/fp"
+	"repro/internal/graph"
 	"repro/internal/partition"
 )
 
@@ -93,7 +94,12 @@ func SeparateEPST(d *arch.Device, tree *community.Tree, p *circuit.Circuit) (flo
 }
 
 // ColocatedEPST partitions the chip among all programs with CDAP and
-// returns each program's EPST on its allocated region.
+// returns each program's EPST on its allocated region. On devices with
+// a pairwise crosstalk matrix, each program's estimate charges its
+// region's links their worst conditional error against every other
+// program's links (EPSTUnder), so the scheduler's epsilon test rejects
+// co-locations whose regions interfere even when each region is fine
+// in isolation. Without a matrix the estimates are unchanged.
 func ColocatedEPST(d *arch.Device, tree *community.Tree, progs []*circuit.Circuit) ([]float64, error) {
 	res, err := partition.CDAP(d, tree, progs)
 	if err != nil {
@@ -101,6 +107,17 @@ func ColocatedEPST(d *arch.Device, tree *community.Tree, progs []*circuit.Circui
 	}
 	out := make([]float64, len(progs))
 	for i, a := range res.Assignments {
+		if d.HasCrosstalk() {
+			var busy []graph.Edge
+			for j, b := range res.Assignments {
+				if j != i {
+					busy = append(busy, d.Coupling.InducedEdges(b.Region)...)
+				}
+			}
+			p := progs[i]
+			out[i] = d.EPSTUnder(a.Region, p.RawCNOTCount(), p.Gate1Count(), p.NumQubits, busy)
+			continue
+		}
 		out[i] = EPST(d, progs[i], a.Region)
 	}
 	return out, nil

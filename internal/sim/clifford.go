@@ -223,14 +223,7 @@ func runTrialT(tb cliffordBackend, d *arch.Device, lay *layered, noise NoiseMode
 		return func(q int) int { return lay.compact[q] }
 	}
 	for _, layer := range lay.layers {
-		var cnotOps []router.Op
-		if noise.Enabled && noise.CrosstalkFactor > 0 {
-			for _, op := range layer {
-				if op.Gate.IsTwoQubit() {
-					cnotOps = append(cnotOps, op)
-				}
-			}
-		}
+		cnotEdges := layer2qEdges(d, layer, noise)
 		busy := map[int]bool{}
 		for _, op := range layer {
 			g := op.Gate
@@ -248,20 +241,14 @@ func runTrialT(tb cliffordBackend, d *arch.Device, lay *layered, noise NoiseMode
 			}
 			switch {
 			case g.Name == circuit.GateSWAP:
-				errRate := d.CNOTError(g.Qubits[0], g.Qubits[1])
-				if noise.CrosstalkFactor > 0 && cliffordXtalk(d, cnotOps, g) {
-					errRate *= 1 + noise.CrosstalkFactor
-				}
+				errRate := effective2qErr(d, noise, cnotEdges, g.Qubits[0], g.Qubits[1])
 				for k := 0; k < 3; k++ {
 					if rng.Float64() < errRate {
 						tb.injectPauliT(pick2(lay.compact[g.Qubits[0]], lay.compact[g.Qubits[1]], rng), rng)
 					}
 				}
 			case g.IsTwoQubit():
-				errRate := d.CNOTError(g.Qubits[0], g.Qubits[1])
-				if noise.CrosstalkFactor > 0 && cliffordXtalk(d, cnotOps, g) {
-					errRate *= 1 + noise.CrosstalkFactor
-				}
+				errRate := effective2qErr(d, noise, cnotEdges, g.Qubits[0], g.Qubits[1])
 				if rng.Float64() < errRate {
 					tb.injectPauliT(pick2(lay.compact[g.Qubits[0]], lay.compact[g.Qubits[1]], rng), rng)
 				}
@@ -280,21 +267,4 @@ func runTrialT(tb cliffordBackend, d *arch.Device, lay *layered, noise NoiseMode
 		}
 	}
 	return nil
-}
-
-// cliffordXtalk reports whether another 2q op in the layer is adjacent
-// to g's link.
-func cliffordXtalk(d *arch.Device, ops []router.Op, g circuit.Gate) bool {
-	for _, op := range ops {
-		if &op.Gate == &g {
-			continue
-		}
-		if op.Gate.Qubits[0] == g.Qubits[0] && op.Gate.Qubits[1] == g.Qubits[1] {
-			continue
-		}
-		if linksAdjacent(d, op.Gate.Qubits, g.Qubits) {
-			return true
-		}
-	}
-	return false
 }

@@ -273,14 +273,7 @@ func SimulateScheduleCtx(ctx context.Context, d *arch.Device, sched *router.Sche
 func runTrial(st *state, d *arch.Device, lay *layered, noise NoiseModel, rng *rand.Rand) error {
 	for _, layer := range lay.layers {
 		// Count CNOT-layer adjacency for crosstalk.
-		var cnotEdges []graph.Edge
-		if noise.Enabled && noise.CrosstalkFactor > 0 {
-			for _, op := range layer {
-				if op.Gate.IsTwoQubit() {
-					cnotEdges = append(cnotEdges, graph.NewEdge(op.Gate.Qubits[0], op.Gate.Qubits[1]))
-				}
-			}
-		}
+		cnotEdges := layer2qEdges(d, layer, noise)
 		busy := map[int]bool{}
 		for _, op := range layer {
 			g := op.Gate
@@ -293,10 +286,7 @@ func runTrial(st *state, d *arch.Device, lay *layered, noise NoiseModel, rng *ra
 				st.applySWAP(a, b)
 				if noise.Enabled {
 					// Three physical CNOTs' worth of error on the link.
-					errRate := d.CNOTError(g.Qubits[0], g.Qubits[1])
-					if noise.CrosstalkFactor > 0 && crosstalkAdjacent(d, cnotEdges, g.Qubits[0], g.Qubits[1]) {
-						errRate *= 1 + noise.CrosstalkFactor
-					}
+					errRate := effective2qErr(d, noise, cnotEdges, g.Qubits[0], g.Qubits[1])
 					for k := 0; k < 3; k++ {
 						if rng.Float64() < errRate {
 							st.injectPauli(pick2(a, b, rng), rng)
@@ -307,10 +297,7 @@ func runTrial(st *state, d *arch.Device, lay *layered, noise NoiseModel, rng *ra
 				c, t := lay.compact[g.Qubits[0]], lay.compact[g.Qubits[1]]
 				st.applyCNOT(c, t)
 				if noise.Enabled {
-					errRate := d.CNOTError(g.Qubits[0], g.Qubits[1])
-					if noise.CrosstalkFactor > 0 && crosstalkAdjacent(d, cnotEdges, g.Qubits[0], g.Qubits[1]) {
-						errRate *= 1 + noise.CrosstalkFactor
-					}
+					errRate := effective2qErr(d, noise, cnotEdges, g.Qubits[0], g.Qubits[1])
 					if rng.Float64() < errRate {
 						st.injectPauli(pick2(c, t, rng), rng)
 					}
@@ -348,13 +335,51 @@ func runTrial(st *state, d *arch.Device, lay *layered, noise NoiseModel, rng *ra
 	return nil
 }
 
+// layer2qEdges collects the normalized links of a layer's two-qubit ops
+// when the noise model needs them for crosstalk — either the legacy
+// scalar factor or the device's pairwise matrix. Returns nil otherwise
+// so the per-layer scan is skipped entirely on crosstalk-free runs.
+func layer2qEdges(d *arch.Device, layer []router.Op, noise NoiseModel) []graph.Edge {
+	if !noise.Enabled || (noise.CrosstalkFactor <= 0 && !d.HasCrosstalk()) {
+		return nil
+	}
+	var edges []graph.Edge
+	for _, op := range layer {
+		if op.Gate.IsTwoQubit() {
+			edges = append(edges, graph.NewEdge(op.Gate.Qubits[0], op.Gate.Qubits[1]))
+		}
+	}
+	return edges
+}
+
+// effective2qErr returns the error rate charged to one execution of the
+// two-qubit link (a,b) given the other two-qubit links firing in the
+// same layer. A device carrying a pairwise crosstalk matrix supersedes
+// the scalar model: the worst characterized conditional error
+// E((a,b)|busy) wins, and neighbors absent from the matrix are benign.
+// Without a matrix the legacy scalar model applies — base error times
+// 1+CrosstalkFactor when any same-layer two-qubit op is adjacent —
+// byte-identical to the pre-matrix simulator.
+func effective2qErr(d *arch.Device, noise NoiseModel, layerEdges []graph.Edge, a, b int) float64 {
+	if d.HasCrosstalk() {
+		return d.Worst2qErrUnder(graph.NewEdge(a, b), layerEdges)
+	}
+	errRate := d.CNOTError(a, b)
+	if noise.CrosstalkFactor > 0 && crosstalkAdjacent(d, layerEdges, a, b) {
+		errRate *= 1 + noise.CrosstalkFactor
+	}
+	return errRate
+}
+
 // crosstalkAdjacent reports whether another CNOT in the same layer acts
 // on a link adjacent to (a,b): sharing a qubit or coupled to one of its
-// endpoints.
+// endpoints. The self-skip compares normalized edges, so a hand-built
+// layer listing the same link in reversed orientation still does not
+// count as its own aggressor.
 func crosstalkAdjacent(d *arch.Device, layerEdges []graph.Edge, a, b int) bool {
 	self := graph.NewEdge(a, b)
 	for _, e := range layerEdges {
-		if e == self {
+		if graph.NewEdge(e.U, e.V) == self {
 			continue
 		}
 		for _, x := range [2]int{e.U, e.V} {

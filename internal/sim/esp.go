@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/arch"
+	"repro/internal/graph"
 	"repro/internal/router"
 )
 
@@ -45,12 +46,21 @@ func AnalyticESP(d *arch.Device, sched *router.Schedule, numPrograms int, idlePe
 		esp.ReadoutFactor[p] = 1
 		esp.IdleFactor[p] = 1
 	}
+	// With a pairwise crosstalk matrix the error of a two-qubit op
+	// depends on which links fire in the same layer, so those ops are
+	// charged in a layered walk below instead of the flat walk here. The
+	// no-matrix path is untouched (ESP never had a scalar crosstalk
+	// term), so existing devices produce bit-identical estimates.
+	useMatrix := d.HasCrosstalk()
 	for _, op := range sched.Ops {
 		switch {
 		case op.IsSwap:
 			p := op.TriggerProgram
 			if p < 0 || p >= numPrograms {
 				return nil, fmt.Errorf("sim: swap with trigger program %d (have %d programs)", p, numPrograms)
+			}
+			if useMatrix {
+				continue
 			}
 			rel := 1 - d.CNOTError(op.Gate.Qubits[0], op.Gate.Qubits[1])
 			esp.GateFactor[p] *= rel * rel * rel
@@ -64,12 +74,38 @@ func AnalyticESP(d *arch.Device, sched *router.Schedule, numPrograms int, idlePe
 			if op.Program < 0 || op.Program >= numPrograms {
 				return nil, fmt.Errorf("sim: gate op with program %d", op.Program)
 			}
+			if useMatrix {
+				continue
+			}
 			esp.GateFactor[op.Program] *= 1 - d.CNOTError(op.Gate.Qubits[0], op.Gate.Qubits[1])
 		default:
 			if op.Program < 0 || op.Program >= numPrograms {
 				return nil, fmt.Errorf("sim: gate op with program %d", op.Program)
 			}
 			esp.GateFactor[op.Program] *= 1 - d.Gate1Err[op.Gate.Qubits[0]]
+		}
+	}
+
+	if useMatrix {
+		lay := layerize(sched)
+		for _, layer := range lay.layers {
+			var edges []graph.Edge
+			for _, op := range layer {
+				if op.Gate.IsTwoQubit() {
+					edges = append(edges, graph.NewEdge(op.Gate.Qubits[0], op.Gate.Qubits[1]))
+				}
+			}
+			for _, op := range layer {
+				if !op.Gate.IsTwoQubit() {
+					continue
+				}
+				rel := 1 - d.Worst2qErrUnder(graph.NewEdge(op.Gate.Qubits[0], op.Gate.Qubits[1]), edges)
+				if op.IsSwap {
+					esp.GateFactor[op.TriggerProgram] *= rel * rel * rel
+				} else {
+					esp.GateFactor[op.Program] *= rel
+				}
+			}
 		}
 	}
 

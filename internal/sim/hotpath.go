@@ -98,28 +98,10 @@ func compileLayers(d *arch.Device, lay *layered, noise NoiseModel, engine engine
 	}
 	for _, layer := range lay.layers {
 		cl := compiledLayer{}
-		// Crosstalk adjacency is a property of the layer, not the trial:
-		// collect the two-qubit ops once and mark each op whose link is
-		// adjacent to another's.
-		var twoq []circuit.Gate
-		if noise.Enabled && noise.CrosstalkFactor > 0 {
-			for _, op := range layer {
-				if op.Gate.IsTwoQubit() {
-					twoq = append(twoq, op.Gate)
-				}
-			}
-		}
-		adjacent := func(g circuit.Gate) bool {
-			for _, other := range twoq {
-				if other.Qubits[0] == g.Qubits[0] && other.Qubits[1] == g.Qubits[1] {
-					continue
-				}
-				if linksAdjacent(d, other.Qubits, g.Qubits) {
-					return true
-				}
-			}
-			return false
-		}
+		// Crosstalk is a property of the layer, not the trial: collect
+		// the two-qubit links once and fold the scalar multiplier or the
+		// pairwise conditional error into each op's compiled rate.
+		layerEdges := layer2qEdges(d, layer, noise)
 		busy := map[int]bool{}
 		for _, op := range layer {
 			g := op.Gate
@@ -142,26 +124,20 @@ func compileLayers(d *arch.Device, lay *layered, noise NoiseModel, engine engine
 			case circuit.GateSWAP:
 				co.kind = opSWAP
 				co.a, co.b = lay.compact[g.Qubits[0]], lay.compact[g.Qubits[1]]
-				co.err = d.CNOTError(g.Qubits[0], g.Qubits[1])
-				if noise.Enabled && noise.CrosstalkFactor > 0 && adjacent(g) {
-					co.err *= 1 + noise.CrosstalkFactor
-				}
+				co.err = effective2qErr(d, noise, layerEdges, g.Qubits[0], g.Qubits[1])
 			case circuit.GateCX:
 				co.kind = opCX
 				co.a, co.b = lay.compact[g.Qubits[0]], lay.compact[g.Qubits[1]]
-				co.err = d.CNOTError(g.Qubits[0], g.Qubits[1])
-				if noise.Enabled && noise.CrosstalkFactor > 0 && adjacent(g) {
-					co.err *= 1 + noise.CrosstalkFactor
-				}
+				co.err = effective2qErr(d, noise, layerEdges, g.Qubits[0], g.Qubits[1])
 			case circuit.GateCZ:
 				co.kind = opCZ
 				co.a, co.b = lay.compact[g.Qubits[0]], lay.compact[g.Qubits[1]]
+				// The statevector interpreter charges CZ its base error
+				// with no crosstalk (scalar or matrix); the tableau
+				// interpreter treats CZ like any two-qubit gate.
 				co.err = d.CNOTError(g.Qubits[0], g.Qubits[1])
-				// The statevector interpreter applies no crosstalk
-				// multiplier to CZ; the tableau interpreter treats CZ
-				// like any two-qubit gate.
-				if engine == engineTableau && noise.Enabled && noise.CrosstalkFactor > 0 && adjacent(g) {
-					co.err *= 1 + noise.CrosstalkFactor
+				if engine == engineTableau {
+					co.err = effective2qErr(d, noise, layerEdges, g.Qubits[0], g.Qubits[1])
 				}
 			default:
 				co.a = lay.compact[g.Qubits[0]]

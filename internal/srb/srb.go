@@ -1,0 +1,210 @@
+// Package srb estimates a device's pairwise crosstalk matrix with
+// simulated Simultaneous Randomized Benchmarking (Gambetta et al.; used
+// for crosstalk characterization by Murali et al., ASPLOS'20). For each
+// ordered pair of adjacent coupling links it runs two Monte-Carlo
+// experiments on the noisy simulator: a train of CNOTs on the victim
+// link alone, and the same train while an equal-length train fires on
+// the aggressor link. The drop in the victim's per-CNOT survival
+// probability between the two runs, anchored at the link's calibrated
+// base error, yields the conditional-error estimate E(victim|aggressor).
+//
+// The estimator is deterministic: pair enumeration is sorted, every
+// simulation derives its seed from the pair's index, and the
+// Monte-Carlo engine's shard contract makes each simulation independent
+// of worker count.
+package srb
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/graph"
+	"repro/internal/pool"
+	"repro/internal/router"
+	"repro/internal/sim"
+)
+
+// Config controls the simulated-SRB sweep.
+type Config struct {
+	// Length is the number of CNOTs per benchmarking train. Longer
+	// trains amplify the survival gap (error ~ compounds per CNOT) but
+	// cost proportionally more simulation time.
+	Length int
+	// Trials is the Monte-Carlo trial count per experiment.
+	Trials int
+	// Seed derives every experiment's RNG stream.
+	Seed int64
+	// Workers bounds the pair-level fan-out (0 = pool default). Each
+	// individual simulation runs sequentially so results are identical
+	// at any worker count.
+	Workers int
+}
+
+// DefaultConfig returns a configuration balancing estimator variance
+// against runtime: 16-CNOT trains and 2000 trials resolve conditional
+// errors of a few percent well enough to separate hostile pairs
+// (ratio >= 2) from benign ones.
+func DefaultConfig() Config {
+	return Config{Length: 16, Trials: 2000, Seed: 1}
+}
+
+// visibility is the probability that one injected Pauli flips the
+// measured bitstring: the simulator draws X, Y, or Z uniformly, and Z
+// is invisible on the computational-basis states an all-CNOT train
+// preserves.
+const visibility = 2.0 / 3.0
+
+// EstimateMatrix characterizes every ordered adjacent link pair of the
+// device and returns the estimated conditional-error matrix. The device
+// under test (carrying the "physical truth", e.g. an installed
+// crosstalk matrix) is only read. Estimates are clamped to
+// [0, arch.MaxCondErr].
+func EstimateMatrix(ctx context.Context, d *arch.Device, noise sim.NoiseModel, cfg Config) (arch.CrosstalkMatrix, error) {
+	if cfg.Length <= 0 || cfg.Trials <= 0 {
+		return nil, fmt.Errorf("srb: length and trials must be positive (got %d, %d)", cfg.Length, cfg.Trials)
+	}
+	pairs := d.AdjacentEdgePairs()
+	if len(pairs) == 0 {
+		return arch.CrosstalkMatrix{}, nil
+	}
+
+	// Isolated baselines, one per distinct victim link, computed up
+	// front so the pair sweep only pays for the simultaneous runs.
+	// Seeds index the sorted edge list, keeping them independent of
+	// which pairs reference the edge.
+	edges := d.Coupling.Edges()
+	edgeIdx := make(map[graph.Edge]int, len(edges))
+	for i, e := range edges {
+		edgeIdx[e] = i
+	}
+	iso := make([]float64, len(edges))
+	isoErr := make([]error, len(edges))
+	var mu sync.Mutex
+	need := map[int]bool{}
+	for _, p := range pairs {
+		need[edgeIdx[p.Victim]] = true
+	}
+	var needIdx []int
+	for i := range iso {
+		if need[i] {
+			needIdx = append(needIdx, i)
+		}
+	}
+	// map iteration order does not matter: results land in indexed
+	// slots and every seed is a pure function of the edge index.
+	err := pool.ForEach(ctx, len(needIdx), cfg.Workers, func(k int) error {
+		i := needIdx[k]
+		s, err := survival(ctx, d, noise, cfg, []graph.Edge{edges[i]}, cfg.Seed+int64(i)*7919)
+		mu.Lock()
+		iso[i], isoErr[i] = s, err
+		mu.Unlock()
+		return err
+	})
+	if err != nil {
+		return nil, firstError(isoErr, err)
+	}
+
+	out := make(arch.CrosstalkMatrix, len(pairs))
+	est := make([]float64, len(pairs))
+	estErr := make([]error, len(pairs))
+	err = pool.ForEach(ctx, len(pairs), cfg.Workers, func(k int) error {
+		p := pairs[k]
+		seed := cfg.Seed + 104729 + int64(k)*7919
+		sSim, err := survival(ctx, d, noise, cfg, []graph.Edge{p.Victim, p.Aggressor}, seed)
+		if err != nil {
+			mu.Lock()
+			estErr[k] = err
+			mu.Unlock()
+			return err
+		}
+		base := d.CNOTError(p.Victim.U, p.Victim.V)
+		sIso := iso[edgeIdx[p.Victim]]
+		// Survival decays per CNOT as s ~ 1 - visibility*err, so the
+		// survival gap between the simultaneous and isolated runs,
+		// rescaled by the visibility, is the extra error the aggressor
+		// induces on top of the calibrated base rate.
+		e := base + (sIso-sSim)/visibility
+		if e < 0 {
+			e = 0
+		}
+		if e > arch.MaxCondErr {
+			e = arch.MaxCondErr
+		}
+		mu.Lock()
+		est[k] = e
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, firstError(estErr, err)
+	}
+	for k, p := range pairs {
+		out[p] = est[k]
+	}
+	return out, nil
+}
+
+// survival runs one SRB experiment — an equal-length CNOT train on each
+// of the given links, co-scheduled layer by layer — and returns the
+// per-CNOT survival probability of the first link's program (the
+// victim): PST^(1/Length).
+func survival(ctx context.Context, d *arch.Device, noise sim.NoiseModel, cfg Config, links []graph.Edge, seed int64) (float64, error) {
+	sched, progs := trainSchedule(d, links, cfg.Length)
+	// Workers=1: the outer pair sweep already saturates the pool, and a
+	// sequential inner run avoids nested-parallelism thrash.
+	out, err := sim.SimulateScheduleCliffordCtx(ctx, d, sched, progs, cfg.Trials, seed, noise, 1)
+	if err != nil {
+		return 0, err
+	}
+	return math.Pow(out.PST[0], 1/float64(cfg.Length)), nil
+}
+
+// trainSchedule hand-builds the routed schedule of one SRB experiment:
+// program p is a train of `length` CNOTs on links[p] followed by
+// measurement of both endpoints. The trains are qubit-disjoint, so the
+// ASAP layerizer co-fires step i of every train in layer i — exactly
+// the simultaneous execution SRB probes.
+func trainSchedule(d *arch.Device, links []graph.Edge, length int) (*router.Schedule, []*circuit.Circuit) {
+	sched := &router.Schedule{Device: d}
+	progs := make([]*circuit.Circuit, len(links))
+	for p, e := range links {
+		c := circuit.New(fmt.Sprintf("srb-train-%d", p), 2)
+		for i := 0; i < length; i++ {
+			c.Add(circuit.NewGate(circuit.GateCX, 0, 1))
+			sched.Ops = append(sched.Ops, router.Op{
+				Program: p, Gate: circuit.NewGate(circuit.GateCX, e.U, e.V),
+				GateIndex: i, TriggerProgram: -1,
+			})
+		}
+		for l, phys := range [2]int{e.U, e.V} {
+			c.Add(circuit.NewGate(circuit.GateMeasure, l))
+			sched.Ops = append(sched.Ops, router.Op{
+				Program: p, Gate: circuit.NewGate(circuit.GateMeasure, phys),
+				GateIndex: length + l, TriggerProgram: -1,
+			})
+			sched.Measurements = append(sched.Measurements, router.Measurement{Program: p, Logical: l, Phys: phys})
+		}
+		progs[p] = c
+	}
+	sched.SwapsByProgram = make([]int, len(links))
+	sched.FinalMapping = make([][]int, len(links))
+	for p, e := range links {
+		sched.FinalMapping[p] = []int{e.U, e.V}
+	}
+	return sched, progs
+}
+
+// firstError prefers the first per-slot error (deterministic across
+// worker schedules) over the pool's own (first-observed) error.
+func firstError(slots []error, fallback error) error {
+	for _, e := range slots {
+		if e != nil {
+			return e
+		}
+	}
+	return fallback
+}
