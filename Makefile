@@ -89,6 +89,15 @@ bench-json: bench-parallel-json
 	$(GO) test -run '^$$' -bench 'BenchmarkFleet(1|4)Chip' -benchtime 3x ./internal/service \
 		| $(GO) run ./cmd/benchjson -o BENCH_fleet.json -label fleet \
 			-ratio scaleout_speedup=Fleet1ChipBalanced/Fleet4ChipBalanced
+	$(MAKE) bench-service-json
+
+# Multi-tenant fairness artifact: a 100k-job, four-tenant (4:2:1:1
+# weights) Poisson loadgen through the WFQ front end; records Jain's
+# fairness index over weight-normalized completions, the end-to-end
+# p99 latency, and throughput in BENCH_service.json. Slow (~3 min).
+bench-service-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkTenantLoadgen$$' -benchtime 1x ./internal/service \
+		| $(GO) run ./cmd/benchjson -o BENCH_service.json -label service
 
 # Benchmark-regression gate: regenerate the parallel/route benches into
 # a scratch file and compare them against the committed baseline.

@@ -48,6 +48,16 @@ const (
 	// so chaos tests can substitute NaN/Inf readings and prove the
 	// metrics pipeline rejects them.
 	SiteLatency Site = "latency"
+	// SiteWALAppend fires before each write-ahead-log append. An
+	// injected error aborts only that append: the service counts the
+	// durability loss and keeps serving (availability over durability).
+	// Rules at this site should inject errors, not panics — the append
+	// runs under the service's queue lock on the submit path.
+	SiteWALAppend Site = "wal-append"
+	// SiteWALReplay fires once during startup WAL replay. An injected
+	// error makes the service discard the replayed records and start
+	// empty, while the log stays open for new appends.
+	SiteWALReplay Site = "wal-replay"
 )
 
 // Plan describes what an activated rule does to the visiting call.

@@ -123,6 +123,7 @@ var deterministicPkgs = map[string]bool{
 	"internal/sim":       true,
 	"internal/srb":       true,
 	"internal/viz":       true,
+	"internal/wal":       true,
 }
 
 // latencyPkgs are the internal packages deliberately exempt from the

@@ -213,11 +213,31 @@ type Registry struct {
 	Dispatches   Counter
 	JobsMigrated Counter
 
+	// Multi-tenant front-end counters: submissions rejected by a
+	// tenant's admission quota (a subset of JobsRejected) and
+	// submissions collapsed onto an existing job by their idempotency
+	// key.
+	TenantRejected Counter
+	IdempotentHits Counter
+
+	// Write-ahead-log counters: successful and failed appends, jobs
+	// restored by startup replay, unparseable lines skipped during
+	// replay, and whole replays abandoned (injected or real I/O
+	// failure — the service then starts empty but keeps logging).
+	WALAppends       Counter
+	WALAppendErrors  Counter
+	WALReplayedJobs  Counter
+	WALReplaySkipped Counter
+	WALReplayErrors  Counter
+
 	// fleetSource supplies the per-device fleet section for Snapshot;
 	// the service wires it in New (before any worker starts), so reads
 	// are race-free. nil (registry used standalone in tests) omits the
 	// section.
 	fleetSource func() FleetSection
+	// tenantSource supplies the tenancy section (auth mode + per-tenant
+	// rows); wired in New like fleetSource. nil omits the section.
+	tenantSource func() (authRequired bool, tenants []TenantMetrics)
 
 	BatchSize      *Histogram
 	QueueLatency   *Histogram // seconds from submit to batch claim
@@ -295,6 +315,24 @@ type MetricsSnapshot struct {
 	BatchSize HistogramSnapshot `json:"batch_size"`
 	PST       HistogramSnapshot `json:"pst"`
 	Fleet     *FleetSection     `json:"fleet,omitempty"`
+	Tenancy   *TenancySection   `json:"tenancy,omitempty"`
+	WAL       struct {
+		Appends       int64 `json:"appends"`
+		AppendErrors  int64 `json:"append_errors"`
+		ReplayedJobs  int64 `json:"replayed_jobs"`
+		ReplaySkipped int64 `json:"replay_skipped"`
+		ReplayErrors  int64 `json:"replay_errors"`
+	} `json:"wal"`
+}
+
+// TenancySection is the /metrics view of the multi-tenant front end:
+// whether bearer auth is enforced, the front-end-wide counters, and
+// one row per tenant (ordered by ID).
+type TenancySection struct {
+	AuthRequired   bool            `json:"auth_required"`
+	QuotaRejected  int64           `json:"quota_rejected"`
+	IdempotentHits int64           `json:"idempotent_hits"`
+	Tenants        []TenantMetrics `json:"tenants"`
 }
 
 // FleetSection is the /metrics view of the fleet dispatcher: the
@@ -363,6 +401,20 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 		sec := r.fleetSource()
 		s.Fleet = &sec
 	}
+	if r.tenantSource != nil {
+		auth, tenants := r.tenantSource()
+		s.Tenancy = &TenancySection{
+			AuthRequired:   auth,
+			QuotaRejected:  r.TenantRejected.Value(),
+			IdempotentHits: r.IdempotentHits.Value(),
+			Tenants:        tenants,
+		}
+	}
+	s.WAL.Appends = r.WALAppends.Value()
+	s.WAL.AppendErrors = r.WALAppendErrors.Value()
+	s.WAL.ReplayedJobs = r.WALReplayedJobs.Value()
+	s.WAL.ReplaySkipped = r.WALReplaySkipped.Value()
+	s.WAL.ReplayErrors = r.WALReplayErrors.Value()
 	return s
 }
 

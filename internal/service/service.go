@@ -25,6 +25,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -37,6 +39,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/fleet"
 	"repro/internal/sim"
+	"repro/internal/wal"
 )
 
 // State is a job's lifecycle stage.
@@ -149,6 +152,17 @@ type Config struct {
 	// compilation. 0 selects the default (1024 entries); negative
 	// disables caching.
 	CacheSize int
+	// Tenants is the static API-key table for the multi-tenant front
+	// end. Empty (the default) runs the service open: no authentication,
+	// every job owned by the implicit "default" tenant. Non-empty turns
+	// on bearer-token auth, weighted-fair queueing, and per-tenant
+	// admission control.
+	Tenants []Tenant
+	// DataDir, when non-empty, enables the write-ahead job log
+	// (<DataDir>/wal.jsonl): admitted jobs are logged before their
+	// submission is acknowledged and replayed on the next startup, so
+	// queued jobs survive a restart or kill.
+	DataDir string
 	// Faults is the test-only fault-injection hook set; nil (the
 	// production value) injects nothing.
 	Faults *faultinject.Injector
@@ -198,6 +212,7 @@ var (
 type JobRecord struct {
 	ID             string    `json:"id"`
 	Seq            int       `json:"seq"`
+	Tenant         string    `json:"tenant,omitempty"`
 	Name           string    `json:"name"`
 	Qubits         int       `json:"qubits"`
 	Gates          int       `json:"gates"`
@@ -213,13 +228,25 @@ type JobRecord struct {
 }
 
 // job pairs the client-visible record with the queue-item shape shared
-// with internal/cloudsim. All fields are guarded by Service.mu.
+// with internal/cloudsim. All fields are guarded by Service.mu except
+// tenant/vstart/vfinish/idemKey, which are immutable after admission.
 type job struct {
 	rec      JobRecord
 	item     cloudsim.Job
 	fj       fleet.Job // width and gate counts for dispatch scoring
 	assigned int       // worker index the dispatcher routed the job to
 	claimed  time.Time
+
+	tenant  *tenantState // owning tenant; immutable after admission
+	vstart  float64      // WFQ virtual start tag; immutable after admission
+	vfinish float64      // WFQ virtual finish tag (queue sort key); immutable after admission
+	idemKey string       // idempotency key binding to release on eviction; immutable
+
+	lastQueued   time.Time // guarded by mu; when the job last entered the queue
+	waitObserved bool      // guarded by mu; QueueLatency recorded (once per job)
+
+	events   []JobEvent      // guarded by mu; lifecycle events, Seq ascending
+	watchers []chan struct{} // guarded by mu; SSE subscriber wakeups (cap 1)
 }
 
 // BreakerStatus surfaces a worker's circuit-breaker state: "closed"
@@ -274,6 +301,17 @@ type Service struct {
 	// embed the device name and calibration version, so backends never
 	// collide); nil when Config.CacheSize disables caching.
 	cache *ccache.Cache
+	// tenants/tenantsByKey/tenantList index the tenant table three ways
+	// (by ID, by API key, ordered by ID for deterministic iteration);
+	// the maps and slice are immutable after New, the pointed-to states
+	// hold mu-guarded accounting. authRequired is true when
+	// Config.Tenants was non-empty (bearer auth enforced).
+	tenants      map[string]*tenantState
+	tenantsByKey map[string]*tenantState
+	tenantList   []*tenantState
+	authRequired bool
+	// wlog is the write-ahead job log; nil when Config.DataDir is empty.
+	wlog *wal.Log
 
 	// stopCh closes when Shutdown begins, waking workers out of
 	// breaker-cooldown and retry-backoff sleeps.
@@ -292,6 +330,7 @@ type Service struct {
 	jobs        map[string]*job    // guarded by mu
 	terminalIDs []string           // guarded by mu; terminal job ids, oldest first (eviction order)
 	seq         int                // guarded by mu
+	vtime       float64            // guarded by mu; WFQ global virtual time
 	accepting   bool               // guarded by mu
 	draining    bool               // guarded by mu
 	forced      bool               // guarded by mu
@@ -303,6 +342,8 @@ type Service struct {
 // New builds a service over the devices (one worker each). Zero-valued
 // Config fields fall back to DefaultConfig; devices must be non-empty
 // with distinct names.
+//
+//lint:ignore ctxflow construction-time WAL replay visits faults under the run context New itself roots; there is no earlier context to plumb
 func New(devices []*arch.Device, cfg Config) (*Service, error) {
 	if len(devices) == 0 {
 		return nil, fmt.Errorf("service: need at least one backend device")
@@ -380,15 +421,23 @@ func New(devices []*arch.Device, cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
+	tenants, tenantsByKey, tenantList, err := buildTenants(cfg)
+	if err != nil {
+		return nil, err
+	}
 	seen := map[string]bool{}
 	s := &Service{
-		cfg:       cfg,
-		start:     time.Now(),
-		metrics:   NewRegistry(),
-		policy:    fleetPolicy,
-		jobs:      map[string]*job{},
-		stopCh:    make(chan struct{}),
-		accepting: true,
+		cfg:          cfg,
+		start:        time.Now(),
+		metrics:      NewRegistry(),
+		policy:       fleetPolicy,
+		jobs:         map[string]*job{},
+		stopCh:       make(chan struct{}),
+		accepting:    true,
+		tenants:      tenants,
+		tenantsByKey: tenantsByKey,
+		tenantList:   tenantList,
+		authRequired: len(cfg.Tenants) > 0,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	//lint:ignore ctxflow the service owns its workers' lifetime, so the run context is rooted here; Shutdown cancels it
@@ -420,7 +469,181 @@ func New(devices []*arch.Device, cfg Config) (*Service, error) {
 		s.chips = append(s.chips, fleet.ChipOf(d))
 	}
 	s.metrics.fleetSource = s.fleetMetrics
+	s.metrics.tenantSource = func() (bool, []TenantMetrics) { return s.authRequired, s.TenantStats() }
+	if cfg.DataDir != "" {
+		if err := s.openWAL(s.runCtx, cfg.DataDir); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// openWAL opens (or creates) the write-ahead job log under dir and
+// restores its state: terminal records re-enter the job store, pending
+// records — jobs admitted before the previous process died — are
+// re-parsed and re-enqueued with their original identity. Afterwards
+// the log is compacted to exactly the restored state. A fault injected
+// at the replay site discards the replayed records (availability over
+// durability) but keeps the log open for new appends.
+func (s *Service) openWAL(ctx context.Context, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("service: data dir: %w", err)
+	}
+	l, rep, err := wal.Open(filepath.Join(dir, "wal.jsonl"))
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	s.wlog = l
+	faults := s.cfg.Faults
+	l.AppendHook = func() error {
+		return faults.Visit(s.runCtx, faultinject.SiteWALAppend)
+	}
+	if err := faults.Visit(ctx, faultinject.SiteWALReplay); err != nil {
+		s.metrics.WALReplayErrors.Inc()
+		return nil
+	}
+	s.metrics.WALReplaySkipped.Add(int64(rep.Skipped))
+	pending, terminal := rep.Pending()
+	// Compact first, so replay cost tracks live state rather than the
+	// previous daemon's lifetime; terminal records appended during the
+	// restore below (e.g. a pending job whose QASM no longer parses)
+	// then land after the compacted content.
+	live := make([]wal.Record, 0, len(terminal)*2+len(pending))
+	for _, t := range terminal {
+		sub := t
+		sub.Type = wal.TypeSubmit
+		sub.Backend, sub.Error, sub.PST, sub.WaitSeconds, sub.ServiceSeconds = "", "", 0, 0, 0
+		// QASM is not retained for terminal jobs: they are never requeued.
+		sub.QASM = ""
+		live = append(live, sub, wal.Record{
+			Type: t.Type, ID: t.ID, Backend: t.Backend, Error: t.Error,
+			PST: t.PST, WaitSeconds: t.WaitSeconds, ServiceSeconds: t.ServiceSeconds,
+		})
+	}
+	live = append(live, pending...)
+	if err := l.Compact(live); err != nil {
+		s.metrics.WALAppendErrors.Inc()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range terminal {
+		s.restoreTerminalLocked(t)
+	}
+	for _, p := range pending {
+		s.restorePendingLocked(p)
+	}
+	return nil
+}
+
+// restoreTerminalLocked rebuilds a finished job's record from its
+// merged WAL submit+terminal pair so GET /v1/jobs/{id} keeps answering
+// across a restart. Callers hold s.mu.
+func (s *Service) restoreTerminalLocked(t wal.Record) {
+	if _, exists := s.jobs[t.ID]; exists {
+		return
+	}
+	state := StateDone
+	if t.Type == wal.TypeFailed {
+		state = StateFailed
+	}
+	tn := s.tenants[t.Tenant]
+	j := &job{
+		rec: JobRecord{
+			ID:             t.ID,
+			Seq:            t.Seq,
+			Tenant:         t.Tenant,
+			Name:           t.Name,
+			Backend:        t.Backend,
+			SubmittedAt:    time.Unix(0, t.SubmittedUnixNano),
+			ArrivalSeconds: t.Arrival,
+			WaitSeconds:    t.WaitSeconds,
+			ServiceSeconds: t.ServiceSeconds,
+			PST:            t.PST,
+			Error:          t.Error,
+		},
+		tenant:  tn,
+		idemKey: t.Idem,
+	}
+	s.setStateLocked(j, state)
+	s.jobs[t.ID] = j
+	s.terminalIDs = append(s.terminalIDs, t.ID)
+	if tn != nil && t.Idem != "" {
+		tn.idem[t.Idem] = idemEntry{jobID: t.ID, fingerprint: t.Fingerprint}
+	}
+	if t.Seq >= s.seq {
+		s.seq = t.Seq + 1
+	}
+	s.metrics.WALReplayedJobs.Inc()
+}
+
+// restorePendingLocked re-admits a job the previous process accepted
+// but never finished: the QASM source is re-parsed and the job
+// re-enters the queue with its original ID, sequence, tenant, and
+// submission instant (so its measured wait honestly includes the
+// downtime). Jobs that no longer parse or fit any backend are restored
+// as failed instead of silently dropped. Callers hold s.mu.
+func (s *Service) restorePendingLocked(p wal.Record) {
+	if _, exists := s.jobs[p.ID]; exists {
+		return
+	}
+	tn := s.tenants[p.Tenant]
+	if tn == nil {
+		// The tenant table changed across the restart; default-tenant
+		// jobs (open mode) land here too when tenants were added.
+		if s.authRequired {
+			s.metrics.WALReplaySkipped.Inc()
+			return
+		}
+		tn = s.tenants[DefaultTenantID]
+	}
+	if p.Seq >= s.seq {
+		s.seq = p.Seq + 1
+	}
+	submitted := time.Unix(0, p.SubmittedUnixNano)
+	j := &job{
+		rec: JobRecord{
+			ID:             p.ID,
+			Seq:            p.Seq,
+			Tenant:         tn.cfg.ID,
+			Name:           p.Name,
+			SubmittedAt:    submitted,
+			ArrivalSeconds: p.Arrival,
+		},
+		tenant:     tn,
+		idemKey:    p.Idem,
+		lastQueued: submitted,
+	}
+	if p.Idem != "" {
+		tn.idem[p.Idem] = idemEntry{jobID: p.ID, fingerprint: p.Fingerprint}
+	}
+	circ, err := circuit.ParseQASMString(p.Name, p.QASM)
+	if err == nil && circ.NumQubits > s.maxQubits {
+		err = fmt.Errorf("%w: program %q needs %d qubits, largest backend has %d",
+			ErrTooLarge, p.Name, circ.NumQubits, s.maxQubits)
+	}
+	if err == nil {
+		j.rec.Qubits = circ.NumQubits
+		j.rec.Gates = len(circ.Gates)
+		j.item = cloudsim.Job{ID: p.Seq, Circ: circ, Arrival: p.Arrival}
+		j.fj = fleet.Job{Qubits: circ.NumQubits, CNOTs: circ.CNOTCount(), Gate1s: circ.Gate1Count()}
+		if !s.dispatchLocked(j, -1) {
+			err = fmt.Errorf("%w: program %q needs %d qubits", ErrTooLarge, p.Name, circ.NumQubits)
+		}
+	}
+	s.jobs[p.ID] = j
+	if err != nil {
+		j.rec.Error = "replay: " + err.Error()
+		s.setStateLocked(j, StateFailed)
+		s.markTerminalLocked(j)
+		s.metrics.JobsFailed.Inc()
+		return
+	}
+	s.tagLocked(tn, j)
+	s.setStateLocked(j, StateQueued)
+	s.enqueueLocked(j)
+	tn.submitted++
+	s.metrics.WALReplayedJobs.Inc()
+	s.metrics.JobsAccepted.Inc()
 }
 
 // Start launches the backend workers. It is idempotent.
@@ -452,27 +675,83 @@ func (s *Service) observeLatency(h *Histogram, seconds float64) {
 // Uptime is the time since the service was constructed.
 func (s *Service) Uptime() time.Duration { return time.Since(s.start) }
 
-// Submit enqueues a parsed program and returns its record. It fails
+// SubmitOptions carries the front-end context of one submission.
+type SubmitOptions struct {
+	// Tenant is the authenticated tenant's ID; empty selects the
+	// implicit default tenant (open mode only).
+	Tenant string
+	// IdempotencyKey, when non-empty, deduplicates retried submissions:
+	// the same tenant resubmitting the same program content under the
+	// same key gets the original job's record back instead of a new
+	// job; the same key with different content is rejected with
+	// ErrIdemConflict.
+	IdempotencyKey string
+}
+
+// Submit enqueues a parsed program for the default tenant. It fails
 // with ErrQueueFull under backpressure, ErrShuttingDown during drain,
 // and ErrTooLarge when no backend can hold the program.
 func (s *Service) Submit(circ *circuit.Circuit) (JobRecord, error) {
+	rec, _, err := s.SubmitJob(circ, SubmitOptions{})
+	return rec, err
+}
+
+// SubmitJob enqueues a parsed program under the given tenant and
+// idempotency context. The returned bool is true when the submission
+// collapsed onto an existing job via its idempotency key. Admission
+// errors: ErrShuttingDown during drain, ErrQueueFull when the global
+// queue is full, ErrTenantQuota when the tenant's weighted share is
+// exhausted, ErrTooLarge when no backend fits, plus the tenant
+// resolution errors (ErrUnknownTenant, ErrTenantDisabled) and
+// ErrIdemConflict for a reused key with different content.
+func (s *Service) SubmitJob(circ *circuit.Circuit, opts SubmitOptions) (JobRecord, bool, error) {
 	if circ == nil || circ.NumQubits == 0 {
-		return JobRecord{}, fmt.Errorf("service: empty program")
+		return JobRecord{}, false, fmt.Errorf("service: empty program")
 	}
 	if circ.NumQubits > s.maxQubits {
-		return JobRecord{}, fmt.Errorf("%w: program %q needs %d qubits, largest backend has %d",
+		return JobRecord{}, false, fmt.Errorf("%w: program %q needs %d qubits, largest backend has %d",
 			ErrTooLarge, circ.Name, circ.NumQubits, s.maxQubits)
 	}
 	fj := fleet.Job{Qubits: circ.NumQubits, CNOTs: circ.CNOTCount(), Gate1s: circ.Gate1Count()}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	t, err := s.tenantLocked(opts.Tenant)
+	if err != nil {
+		return JobRecord{}, false, err
+	}
+	var fp string
+	if opts.IdempotencyKey != "" {
+		// Check the key before any admission control: a retry of an
+		// already-admitted job must succeed even when the queue is full.
+		fp = contentFingerprint(circ)
+		if e, ok := t.idem[opts.IdempotencyKey]; ok {
+			if prior, live := s.jobs[e.jobID]; live {
+				if e.fingerprint != fp {
+					return JobRecord{}, false, fmt.Errorf("%w: key %q", ErrIdemConflict, opts.IdempotencyKey)
+				}
+				s.metrics.IdempotentHits.Inc()
+				return snapshotRecord(prior), true, nil
+			}
+			// The bound job was evicted from the store; the key is free.
+			delete(t.idem, opts.IdempotencyKey)
+		}
+	}
 	if !s.accepting {
 		s.metrics.JobsRejected.Inc()
-		return JobRecord{}, ErrShuttingDown
+		t.rejected++
+		return JobRecord{}, false, ErrShuttingDown
 	}
 	if len(s.queue) >= s.cfg.QueueSize {
 		s.metrics.JobsRejected.Inc()
-		return JobRecord{}, ErrQueueFull
+		t.rejected++
+		return JobRecord{}, false, ErrQueueFull
+	}
+	if t.queued >= t.maxQueued {
+		s.metrics.JobsRejected.Inc()
+		s.metrics.TenantRejected.Inc()
+		t.rejected++
+		return JobRecord{}, false, fmt.Errorf("%w: tenant %q has %d jobs queued (cap %d)",
+			ErrTenantQuota, t.cfg.ID, t.queued, t.maxQueued)
 	}
 	seq := s.seq
 	s.seq++
@@ -482,30 +761,68 @@ func (s *Service) Submit(circ *circuit.Circuit) (JobRecord, error) {
 		rec: JobRecord{
 			ID:             fmt.Sprintf("job-%06d", seq),
 			Seq:            seq,
+			Tenant:         t.cfg.ID,
 			Name:           circ.Name,
 			Qubits:         circ.NumQubits,
 			Gates:          len(circ.Gates),
-			State:          StateQueued,
 			SubmittedAt:    now,
 			ArrivalSeconds: arrival,
 		},
-		item: cloudsim.Job{ID: seq, Circ: circ, Arrival: arrival},
-		fj:   fj,
+		item:       cloudsim.Job{ID: seq, Circ: circ, Arrival: arrival},
+		fj:         fj,
+		tenant:     t,
+		idemKey:    opts.IdempotencyKey,
+		lastQueued: now,
 	}
 	// Route before enqueueing so the candidate queue depths exclude the
 	// job being placed.
 	if !s.dispatchLocked(j, -1) {
 		s.seq-- // roll back: the job was never admitted
 		s.metrics.JobsRejected.Inc()
-		return JobRecord{}, fmt.Errorf("%w: program %q needs %d qubits",
+		t.rejected++
+		return JobRecord{}, false, fmt.Errorf("%w: program %q needs %d qubits",
 			ErrTooLarge, circ.Name, circ.NumQubits)
 	}
-	s.queue = append(s.queue, j)
+	s.tagLocked(t, j)
+	s.setStateLocked(j, StateQueued)
+	// Log before acknowledging: once SubmitJob returns, the job must
+	// survive a process kill. An append failure is counted but does not
+	// reject the job — availability over durability.
+	s.walSubmitLocked(j, circ, fp)
+	s.enqueueLocked(j)
 	s.jobs[j.rec.ID] = j
+	t.submitted++
+	if opts.IdempotencyKey != "" {
+		t.idem[opts.IdempotencyKey] = idemEntry{jobID: j.rec.ID, fingerprint: fp}
+	}
 	s.metrics.JobsAccepted.Inc()
-	s.metrics.QueueDepth.Set(int64(len(s.queue)))
 	s.cond.Broadcast()
-	return snapshotRecord(j), nil
+	return snapshotRecord(j), false, nil
+}
+
+// walSubmitLocked appends the job's admission record to the WAL (no-op
+// without a data dir). Callers hold s.mu.
+func (s *Service) walSubmitLocked(j *job, circ *circuit.Circuit, fp string) {
+	if s.wlog == nil {
+		return
+	}
+	err := s.wlog.Append(wal.Record{
+		Type:              wal.TypeSubmit,
+		ID:                j.rec.ID,
+		Seq:               j.rec.Seq,
+		Tenant:            j.rec.Tenant,
+		Name:              j.rec.Name,
+		QASM:              circuit.QASMString(circ),
+		Idem:              j.idemKey,
+		Fingerprint:       fp,
+		SubmittedUnixNano: j.rec.SubmittedAt.UnixNano(),
+		Arrival:           j.rec.ArrivalSeconds,
+	})
+	if err != nil {
+		s.metrics.WALAppendErrors.Inc()
+		return
+	}
+	s.metrics.WALAppends.Inc()
 }
 
 // Job returns the record for the given public id.
@@ -521,13 +838,30 @@ func (s *Service) Job(id string) (JobRecord, bool) {
 
 // Jobs lists every record, oldest first.
 func (s *Service) Jobs() []JobRecord {
+	return s.JobsPage("", -1, 0)
+}
+
+// JobsPage lists records oldest (lowest Seq) first: only the given
+// tenant's jobs when tenant is non-empty, starting strictly after
+// sequence number `after` (-1 for the beginning), and at most limit
+// records when limit is positive. It backs the GET /v1/jobs paging.
+func (s *Service) JobsPage(tenant string, after int, limit int) []JobRecord {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]JobRecord, 0, len(s.jobs))
 	for _, j := range s.jobs {
+		if tenant != "" && j.rec.Tenant != tenant {
+			continue
+		}
+		if j.rec.Seq <= after {
+			continue
+		}
 		out = append(out, snapshotRecord(j))
 	}
 	sort.Slice(out, func(i, k int) bool { return out[i].Seq < out[k].Seq })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
 	return out
 }
 
@@ -556,7 +890,12 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 
 	if !started {
+		// The run context must be cancelled on this path too: nothing
+		// ever started from it, but leaving it live leaks the context
+		// (and any future derivation from it would never be released).
+		s.runCancel()
 		s.failRemaining("service shut down before execution")
+		s.closeWAL()
 		return nil
 	}
 	done := make(chan struct{})
@@ -568,6 +907,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	case <-done:
 		s.runCancel()
 		s.failRemaining("service shut down before execution")
+		s.closeWAL()
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -580,7 +920,19 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		s.runCancel()
 		<-done
 		s.failRemaining("service shut down before execution")
+		s.closeWAL()
 		return ctx.Err()
+	}
+}
+
+// closeWAL syncs and closes the write-ahead log after the last
+// terminal append of a shutdown (no-op without a data dir).
+func (s *Service) closeWAL() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wlog != nil {
+		_ = s.wlog.Close()
+		s.wlog = nil
 	}
 }
 
@@ -590,8 +942,9 @@ func (s *Service) failRemaining(msg string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, j := range s.queue {
-		j.rec.State = StateFailed
 		j.rec.Error = msg
+		s.setStateLocked(j, StateFailed)
+		s.dequeuedLocked(j)
 		s.markTerminalLocked(j)
 		s.metrics.JobsFailed.Inc()
 		s.observeLatency(s.metrics.TotalLatency, time.Since(j.rec.SubmittedAt).Seconds())
@@ -600,11 +953,39 @@ func (s *Service) failRemaining(msg string) {
 	s.metrics.QueueDepth.Set(0)
 }
 
-// markTerminalLocked records that the job reached a terminal state and
-// evicts the oldest terminal records beyond Config.MaxJobHistory, so
-// the in-memory store cannot grow without bound under a long-running
+// markTerminalLocked records that the job reached a terminal state:
+// per-tenant outcome counters, the WAL terminal append, and eviction
+// of the oldest terminal records beyond Config.MaxJobHistory, so the
+// in-memory store cannot grow without bound under a long-running
 // daemon. Callers hold s.mu and have already set a terminal state.
 func (s *Service) markTerminalLocked(j *job) {
+	if j.tenant != nil {
+		if j.rec.State == StateDone {
+			j.tenant.completed++
+		} else {
+			j.tenant.failed++
+		}
+	}
+	if s.wlog != nil {
+		typ := wal.TypeDone
+		if j.rec.State == StateFailed {
+			typ = wal.TypeFailed
+		}
+		err := s.wlog.Append(wal.Record{
+			Type:           typ,
+			ID:             j.rec.ID,
+			Backend:        j.rec.Backend,
+			Error:          j.rec.Error,
+			PST:            j.rec.PST,
+			WaitSeconds:    j.rec.WaitSeconds,
+			ServiceSeconds: j.rec.ServiceSeconds,
+		})
+		if err != nil {
+			s.metrics.WALAppendErrors.Inc()
+		} else {
+			s.metrics.WALAppends.Inc()
+		}
+	}
 	s.terminalIDs = append(s.terminalIDs, j.rec.ID)
 	if s.cfg.MaxJobHistory <= 0 {
 		return
@@ -612,6 +993,13 @@ func (s *Service) markTerminalLocked(j *job) {
 	for len(s.terminalIDs) > s.cfg.MaxJobHistory {
 		id := s.terminalIDs[0]
 		s.terminalIDs = s.terminalIDs[1:]
+		// Release the evicted job's idempotency-key binding so the key
+		// can be reused once the job it named is gone.
+		if old := s.jobs[id]; old != nil && old.idemKey != "" && old.tenant != nil {
+			if e := old.tenant.idem[old.idemKey]; e.jobID == id {
+				delete(old.tenant.idem, old.idemKey)
+			}
+		}
 		delete(s.jobs, id)
 		s.metrics.JobsEvicted.Inc()
 	}

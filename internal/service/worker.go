@@ -258,12 +258,26 @@ func (w *worker) claim(ctx context.Context) []*job {
 		seqs[i] = j.rec.Seq
 	}
 	for _, j := range batch {
-		j.rec.State = StateBatched
 		j.rec.Backend = w.dev.Name
 		j.rec.CoJobs = seqs
-		j.rec.WaitSeconds = now.Sub(j.rec.SubmittedAt).Seconds()
+		// WaitSeconds accumulates across requeues (co-location fallback,
+		// migration): each claim adds only the time since the job last
+		// entered the queue, and QueueLatency is observed once per job —
+		// a requeued job must not be double-counted.
+		j.rec.WaitSeconds += now.Sub(j.lastQueued).Seconds()
 		j.claimed = now
-		s.observeLatency(s.metrics.QueueLatency, j.rec.WaitSeconds)
+		if !j.waitObserved {
+			j.waitObserved = true
+			s.observeLatency(s.metrics.QueueLatency, j.rec.WaitSeconds)
+		}
+		s.setStateLocked(j, StateBatched)
+		s.dequeuedLocked(j)
+		// Advance the WFQ virtual clock to the claimed work's start tag
+		// so an idle tenant's next job restarts at the current virtual
+		// time instead of draining accumulated credit.
+		if j.vstart > s.vtime {
+			s.vtime = j.vstart
+		}
 	}
 	w.busy = true
 	s.metrics.QueueDepth.Set(int64(len(s.queue)))
@@ -297,9 +311,10 @@ func (w *worker) failHead(msg string) {
 			continue
 		}
 		s.queue = append(s.queue[:i], s.queue[i+1:]...)
-		j.rec.State = StateFailed
 		j.rec.Error = msg
 		j.rec.Backend = w.dev.Name
+		s.setStateLocked(j, StateFailed)
+		s.dequeuedLocked(j)
 		s.markTerminalLocked(j)
 		s.metrics.JobsFailed.Inc()
 		s.observeLatency(s.metrics.TotalLatency, time.Since(j.rec.SubmittedAt).Seconds())
@@ -308,20 +323,24 @@ func (w *worker) failHead(msg string) {
 	}
 }
 
-// requeueFront returns unexecuted jobs to the head of the queue (used
-// when a co-located compilation falls back to running the head alone).
-// The jobs stay assigned to this backend, so Backend is kept; only the
-// batch membership is undone.
+// requeueFront returns unexecuted jobs to the queue (used when a
+// co-located compilation falls back to running the head alone). The
+// jobs stay assigned to this backend, so Backend is kept; only the
+// batch membership is undone. Each job re-enters at its original WFQ
+// position — the sorted insert lands it where it sat before the claim
+// relative to everything still queued — and its wait clock restarts so
+// the next claim adds only the new queueing time.
 func (w *worker) requeueFront(tail []*job) {
 	s := w.svc
+	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, j := range tail {
-		j.rec.State = StateQueued
 		j.rec.CoJobs = nil
+		j.lastQueued = now
+		s.setStateLocked(j, StateQueued)
+		s.enqueueLocked(j)
 	}
-	s.queue = append(append([]*job(nil), tail...), s.queue...)
-	s.metrics.QueueDepth.Set(int64(len(s.queue)))
 	s.metrics.InFlight.Add(-int64(len(tail)))
 	s.cond.Broadcast()
 }
@@ -391,7 +410,7 @@ func (w *worker) attempt(ctx context.Context, curp *[]*job) error {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		for i, j := range batch {
-			j.rec.State = StateCompiling
+			s.setStateLocked(j, StateCompiling)
 			progs[i] = j.item.Circ
 		}
 	}()
@@ -462,9 +481,9 @@ func (w *worker) attempt(ctx context.Context, curp *[]*job) error {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		for i, j := range batch {
-			j.rec.State = StateDone
 			j.rec.PST = psts[i]
 			j.rec.ServiceSeconds = executed.Sub(j.claimed).Seconds()
+			s.setStateLocked(j, StateDone)
 			s.markTerminalLocked(j)
 		}
 		if adapted {
@@ -601,9 +620,9 @@ func (w *worker) fail(batch []*job, err error) {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		for _, j := range batch {
-			j.rec.State = StateFailed
 			j.rec.Error = err.Error()
 			j.rec.ServiceSeconds = now.Sub(j.claimed).Seconds()
+			s.setStateLocked(j, StateFailed)
 			s.markTerminalLocked(j)
 		}
 		w.busy = false
